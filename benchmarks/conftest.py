@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from the
+same simulated campaign.  The campaign and the cached analysis context are
+session-scoped so the expensive pieces (collection, offline MD per sensor
+count, RE cross-validation) are computed once per benchmark session.
+
+The campaign scale is compact (five 40-minute days with compressed movement
+rates) so the whole benchmark suite runs in minutes; pass
+``--paper-scale`` to run the full five 8-hour days instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.campaign import AnalysisContext, CampaignScale, collect_campaign
+from repro.core.config import FadewichConfig
+
+SENSOR_SWEEP = (3, 4, 5, 6, 7, 8, 9)
+FIGURE_SENSORS = (3, 5, 7, 9)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the benchmarks on five full 8-hour days instead of the "
+        "compact campaign",
+    )
+    parser.addoption(
+        "--campaign-seed",
+        action="store",
+        type=int,
+        default=42,
+        help="seed of the simulated campaign",
+    )
+
+
+@pytest.fixture(scope="session")
+def campaign(request):
+    """The recorded campaign all benchmarks analyse."""
+    scale = (
+        CampaignScale.paper()
+        if request.config.getoption("--paper-scale")
+        else CampaignScale.compact()
+    )
+    seed = request.config.getoption("--campaign-seed")
+    return collect_campaign(seed=seed, scale=scale)
+
+
+@pytest.fixture(scope="session")
+def context(campaign):
+    """The cached analysis context over the benchmark campaign."""
+    return AnalysisContext(campaign, FadewichConfig(), seed=0)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return FadewichConfig()

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 10 — attack opportunities for Insider and Co-worker.
+
+The paper's shape: under the time-out baseline every departure is
+exploitable by both adversaries; with FADEWICH the number of opportunities
+drops sharply as sensors are added, and the Insider (who needs 4 extra
+seconds to reach the desk) always has at most as many opportunities as the
+Co-worker.
+"""
+
+from repro.analysis.security_eval import (
+    compute_attack_opportunities,
+    render_attack_opportunities,
+)
+
+SENSOR_SWEEP = (3, 4, 5, 6, 7, 8, 9)
+
+
+def test_fig10_attack_opportunities(benchmark, context):
+    rows = benchmark(compute_attack_opportunities, context, SENSOR_SWEEP)
+    print("\n" + render_attack_opportunities(rows))
+
+    timeout_row = rows[0]
+    assert timeout_row.label == "timeout"
+    assert timeout_row.insider_pct == 100.0
+    assert timeout_row.coworker_pct == 100.0
+
+    by_label = {row.label: row for row in rows}
+    best = by_label["9 sensors"]
+    worst = by_label["3 sensors"]
+    # FADEWICH strictly improves on the time-out, and more sensors help.
+    assert best.insider_pct < timeout_row.insider_pct
+    assert best.insider_pct <= worst.insider_pct
+    assert best.coworker_pct <= worst.coworker_pct
+    # The full deployment denies the Insider almost every opportunity.
+    assert best.insider_pct <= 25.0
+    # The Insider never exceeds the Co-worker.
+    for row in rows:
+        assert row.insider_pct <= row.coworker_pct + 1e-9

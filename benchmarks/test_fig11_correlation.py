@@ -1,0 +1,29 @@
+"""Benchmark: Figure 11 — correlation between per-stream variance features.
+
+The paper's observation: streams between physically close devices react in
+similar ways to a moving body, so their variance features correlate.
+"""
+
+from repro.analysis.feature_analysis import (
+    compute_variance_correlations,
+    render_variance_correlations,
+)
+
+
+def test_fig11_variance_correlations(benchmark, context):
+    result = benchmark(compute_variance_correlations, context, 9)
+    print("\n" + render_variance_correlations(result))
+
+    n_streams = len(result.stream_ids)
+    assert n_streams == 72
+    assert result.correlation.matrix.shape == (n_streams, n_streams)
+
+    # The two directions of the same physical link share the channel, so
+    # their variance features correlate well above the matrix-wide average
+    # (their noise is independent, so the correlation is not 1).
+    forward = result.correlation.value("d1-d2", "d2-d1")
+    assert forward > result.mean_absolute_correlation()
+    assert forward > 0.15
+    # Correlation structure exists but the matrix is not degenerate.
+    mean_abs = result.mean_absolute_correlation()
+    assert 0.02 < mean_abs < 0.95

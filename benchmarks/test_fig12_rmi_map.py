@@ -1,0 +1,29 @@
+"""Benchmark: Figure 12 — per-stream importance (RMI) over the office plan.
+
+The paper visualises the relative mutual information of every stream's
+features with the class label as a heat map on the floor plan; some sensors
+(d5 in their deployment) contribute little.  Here the same per-stream RMI
+scores are computed and the spread between informative and uninformative
+streams is checked.
+"""
+
+from repro.analysis.feature_analysis import (
+    compute_stream_importance,
+    render_stream_importance,
+)
+
+
+def test_fig12_stream_importance(benchmark, context):
+    result = benchmark(compute_stream_importance, context, 9)
+    print("\n" + render_stream_importance(result))
+
+    scores = result.scores
+    # One score per undirected-ish pair (both directions reported).
+    assert len(scores) > 30
+    values = sorted(scores.values(), reverse=True)
+    assert all(0.0 <= v <= 1.0 for v in values)
+    # Informative streams clearly beat the least informative ones.
+    assert values[0] > values[-1]
+    assert values[0] > 0.05
+    # There is a least-informative sensor, as the paper observes for d5.
+    assert result.least_important_sensor() in {f"d{i}" for i in range(1, 10)}

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 13 — vulnerable time vs total user cost.
+
+The paper's shape: the time-out baseline costs the users nothing but leaves
+workstations vulnerable for orders of magnitude longer than FADEWICH; the
+cost of FADEWICH rises slightly with the number of sensors and quickly
+stabilises, while the vulnerable time keeps shrinking.
+"""
+
+from repro.analysis.comparison import compute_tradeoff, render_tradeoff
+
+SENSOR_SWEEP = (3, 5, 7, 9)
+
+
+def test_fig13_security_usability_tradeoff(benchmark, context):
+    points = benchmark.pedantic(
+        compute_tradeoff,
+        args=(context, SENSOR_SWEEP),
+        kwargs={"n_draws": 10},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_tradeoff(points))
+
+    by_label = {p.label: p for p in points}
+    timeout = by_label["timeout"]
+    best = by_label["9 sensors"]
+    worst = by_label["3 sensors"]
+
+    # The time-out never interrupts users but leaves sessions exposed.
+    assert timeout.total_cost_min == 0.0
+    assert timeout.vulnerable_time_min > 0.0
+    # FADEWICH reduces the vulnerable time dramatically (the paper shows
+    # one-plus orders of magnitude).
+    assert best.vulnerable_time_min < timeout.vulnerable_time_min / 3.0
+    # More sensors keep shrinking the vulnerable time.
+    assert best.vulnerable_time_min <= worst.vulnerable_time_min
+    # The user cost stays bounded (minutes, not hours, over the campaign).
+    assert best.total_cost_min < 30.0

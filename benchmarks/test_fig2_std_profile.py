@@ -1,0 +1,25 @@
+"""Benchmark: Figure 2 — distribution of the sum of standard deviations.
+
+Checks that the walking distribution sits visibly to the right of the
+normal (quiet) profile and that the 99th-percentile threshold separates
+them, which is the premise of the MD module.
+"""
+
+import numpy as np
+
+from repro.analysis.md_profile import compute_std_profile, render_std_profile
+
+
+def test_fig2_std_sum_profile(benchmark, campaign, config):
+    result = benchmark(compute_std_profile, campaign, config, 0)
+    print("\n" + render_std_profile(result))
+
+    assert result.normal_values.size > 100
+    assert result.walking_values.size > 0
+    # Walking fluctuations exceed the quiet ones (the paper's Figure 2 gap).
+    assert result.separation > 0.0
+    assert np.median(result.walking_values) > np.median(result.normal_values)
+    assert np.percentile(result.walking_values, 75) > result.percentile_99 * 0.9
+    # The threshold lies in the upper tail of the normal profile.
+    quiet_above = float(np.mean(result.normal_values >= result.percentile_99))
+    assert quiet_above < 0.05

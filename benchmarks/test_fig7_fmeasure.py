@@ -1,0 +1,36 @@
+"""Benchmark: Figure 7 — MD F-measure as a function of t_delta.
+
+The paper's shape: each curve rises, peaks around the typical
+workstation-to-door walking time (~5 s) and falls once t_delta exceeds the
+duration of real movement windows; more sensors give a higher curve.
+"""
+
+import numpy as np
+
+from repro.analysis.md_performance import (
+    compute_fmeasure_curves,
+    render_fmeasure_curves,
+)
+
+T_DELTAS = tuple(np.arange(2.0, 8.01, 0.5))
+FIGURE_SENSORS = (3, 5, 7, 9)
+
+
+def test_fig7_fmeasure_vs_tdelta(benchmark, context):
+    curves = benchmark(
+        compute_fmeasure_curves, context, T_DELTAS, FIGURE_SENSORS
+    )
+    print("\n" + render_fmeasure_curves(curves))
+
+    by_sensors = {c.n_sensors: c for c in curves}
+    # More sensors -> a peak F-measure at least as good (small tolerance for
+    # the finite number of events in the simulated campaign).
+    assert by_sensors[9].peak()[1] >= by_sensors[3].peak()[1] - 0.05
+    # The nine-sensor deployment peaks at a useful operating point.
+    assert by_sensors[9].peak()[1] > 0.8
+    # The peak lies at an intermediate t_delta (neither extreme), i.e. the
+    # curve is unimodal-ish as in the paper.
+    peak_t = by_sensors[9].peak()[0]
+    assert T_DELTAS[0] <= peak_t <= T_DELTAS[-1]
+    # Very large t_delta hurts recall and therefore the F-measure.
+    assert by_sensors[9].f_measures[-1] <= by_sensors[9].peak()[1]

@@ -1,0 +1,42 @@
+"""Benchmark: Figure 8 — RE classification accuracy vs training-set size.
+
+The paper's shape: accuracy improves with more training samples and with
+more sensors; the error bars shrink as the training set grows.
+"""
+
+import numpy as np
+
+from repro.analysis.re_performance import (
+    compute_learning_curves,
+    render_learning_curves,
+)
+
+FIGURE_SENSORS = (3, 5, 7, 9)
+
+
+def test_fig8_learning_curves(benchmark, context):
+    curves = benchmark.pedantic(
+        compute_learning_curves,
+        args=(context,),
+        kwargs={"sensor_counts": FIGURE_SENSORS, "n_repeats": 5},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_learning_curves(curves))
+
+    assert curves, "at least one sensor count must have enough samples"
+    by_sensors = {c.n_sensors: c for c in curves}
+    top = by_sensors[max(by_sensors)]
+    # Accuracy with the full deployment and the full training set clearly
+    # beats chance (4 classes -> 0.25) and is in a usable range.
+    assert top.final_accuracy > 0.5
+    # Accuracy does not degrade as the training set grows.
+    acc = top.result.mean_accuracy
+    valid = ~np.isnan(acc)
+    assert acc[valid][-1] >= acc[valid][0] - 0.1
+    # More sensors help (or at least do not hurt) the final accuracy.
+    if min(by_sensors) != max(by_sensors):
+        assert (
+            by_sensors[max(by_sensors)].final_accuracy
+            >= by_sensors[min(by_sensors)].final_accuracy - 0.1
+        )

@@ -1,0 +1,22 @@
+"""Benchmark: Table II — labelled events collected during the campaign.
+
+Regenerates the label histogram of the simulated five-day campaign and
+checks its shape against the paper's Table II (entries dominate, departures
+are spread across all workstations).
+"""
+
+from repro.analysis.events_table import compute_event_table, render_event_table
+
+
+def test_table2_labelled_events(benchmark, campaign):
+    table = benchmark(compute_event_table, campaign)
+    print("\n" + render_event_table(table))
+
+    # Shape checks: every workstation produced departures, entries exist,
+    # and the total event count is in the same order of magnitude as the
+    # paper's 130 events.
+    assert table.entries > 0
+    for workstation in campaign.layout.workstation_ids:
+        assert table.counts.get(workstation, 0) > 0
+    assert table.total >= 30
+    assert table.departure_balance() > 0.2

@@ -1,0 +1,25 @@
+"""Benchmark: Table III — MD performance (TP/FP/FN) vs number of sensors.
+
+The paper's shape: detection improves monotonically with more sensors and
+the false-negative count collapses towards zero with 8-9 sensors, while
+false positives stay a small fraction of decisions.
+"""
+
+from repro.analysis.md_performance import compute_md_table, render_md_table
+
+SENSOR_SWEEP = (3, 4, 5, 6, 7, 8, 9)
+
+
+def test_table3_md_performance(benchmark, context):
+    rows = benchmark(compute_md_table, context, SENSOR_SWEEP)
+    print("\n" + render_md_table(rows))
+
+    by_sensors = {row.n_sensors: row.counts for row in rows}
+    # Monotone-ish improvement: 9 sensors detect at least as much as 3.
+    assert by_sensors[9].tp >= by_sensors[3].tp
+    assert by_sensors[9].recall >= by_sensors[3].recall
+    # With the full deployment nearly every movement is detected.
+    assert by_sensors[9].recall >= 0.85
+    assert by_sensors[9].fn <= by_sensors[3].fn
+    # False positives remain a small fraction of all decisions.
+    assert by_sensors[9].rates()["fp"] <= 0.25

@@ -1,0 +1,61 @@
+"""Sensor-placement study: how many sensors does an office need?
+
+The paper's future-work section asks whether the wireless devices already
+present in an office would be enough.  This example sweeps the number of
+deployed sensors and reports detection recall, classification accuracy and
+the usability cost, so a deployer can pick the smallest deployment meeting
+their security target.
+
+Run with::
+
+    python examples/sensor_placement.py
+"""
+
+from __future__ import annotations
+
+from repro import FadewichConfig
+from repro.analysis.campaign import AnalysisContext, CampaignScale, collect_campaign
+from repro.analysis.usability_eval import build_usability_inputs
+from repro.core.usability import UsabilitySimulator
+
+
+def main() -> None:
+    config = FadewichConfig()
+    scale = CampaignScale(
+        name="placement-demo",
+        n_days=3,
+        day_duration_s=1800.0,
+        departures_per_hour=6.0,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=1.5,
+    )
+    print("Simulating the office and sweeping the sensor deployment...\n")
+    recording = collect_campaign(seed=5, scale=scale)
+    context = AnalysisContext(recording, config)
+
+    header = (
+        f"{'sensors':>8} | {'MD recall':>9} | {'MD precision':>12} | "
+        f"{'RE accuracy':>11} | {'cost s/day':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n_sensors in range(3, context.max_sensors + 1):
+        counts = context.md_evaluation(n_sensors).counts
+        accuracy = context.re_accuracy(n_sensors)
+        inputs = build_usability_inputs(context, n_sensors)
+        usability = UsabilitySimulator(config).run(inputs, n_draws=10)
+        print(
+            f"{n_sensors:>8} | {counts.recall:9.2f} | {counts.precision:12.2f} | "
+            f"{accuracy:11.2f} | {usability.cost_per_day_s:10.1f}"
+        )
+
+    print(
+        "\nReading the table: recall (how many departures are noticed at all)"
+        "\nsaturates first; classification accuracy keeps improving with more"
+        "\nsensors, which is what removes the co-worker's attack window."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Per-table / per-figure reproduction code.
+
+Each module computes the data behind one of the paper's tables or figures
+and renders it as text:
+
+* :mod:`~repro.analysis.events_table` — Table II,
+* :mod:`~repro.analysis.md_profile` — Figure 2,
+* :mod:`~repro.analysis.md_performance` — Table III and Figure 7,
+* :mod:`~repro.analysis.re_performance` — Figure 8,
+* :mod:`~repro.analysis.security_eval` — Figures 9 and 10,
+* :mod:`~repro.analysis.usability_eval` — Table IV,
+* :mod:`~repro.analysis.feature_analysis` — Figures 11-12 and Table V,
+* :mod:`~repro.analysis.comparison` — Figure 13.
+
+:mod:`~repro.analysis.campaign` provides the shared campaign collection and
+the :class:`~repro.analysis.campaign.AnalysisContext` cache they all build
+on.
+"""
+
+from .campaign import AnalysisContext, CampaignScale, collect_campaign
+from .comparison import TradeoffPoint, compute_tradeoff, render_tradeoff
+from .events_table import EventTable, compute_event_table, render_event_table
+from .feature_analysis import (
+    StreamImportanceResult,
+    VarianceCorrelationResult,
+    compute_rmi_ranking,
+    compute_stream_importance,
+    compute_variance_correlations,
+    render_rmi_table,
+    render_stream_importance,
+    render_variance_correlations,
+)
+from .md_performance import (
+    FMeasureCurve,
+    MDTableRow,
+    compute_fmeasure_curves,
+    compute_md_table,
+    render_fmeasure_curves,
+    render_md_table,
+)
+from .md_profile import StdProfileResult, compute_std_profile, render_std_profile
+from .re_performance import (
+    AccuracyCurve,
+    compute_learning_curves,
+    render_learning_curves,
+)
+from .security_eval import (
+    AttackOpportunityRow,
+    DeauthCurve,
+    compute_attack_opportunities,
+    compute_deauth_curves,
+    render_attack_opportunities,
+    render_deauth_curves,
+)
+from .usability_eval import (
+    UsabilityTableRow,
+    build_usability_inputs,
+    compute_usability_table,
+    presence_intervals_from_events,
+    render_usability_table,
+)
+
+__all__ = [
+    "AccuracyCurve",
+    "AnalysisContext",
+    "AttackOpportunityRow",
+    "CampaignScale",
+    "DeauthCurve",
+    "EventTable",
+    "FMeasureCurve",
+    "MDTableRow",
+    "StdProfileResult",
+    "StreamImportanceResult",
+    "TradeoffPoint",
+    "UsabilityTableRow",
+    "VarianceCorrelationResult",
+    "build_usability_inputs",
+    "collect_campaign",
+    "compute_attack_opportunities",
+    "compute_deauth_curves",
+    "compute_event_table",
+    "compute_fmeasure_curves",
+    "compute_learning_curves",
+    "compute_md_table",
+    "compute_rmi_ranking",
+    "compute_std_profile",
+    "compute_stream_importance",
+    "compute_tradeoff",
+    "compute_usability_table",
+    "compute_variance_correlations",
+    "presence_intervals_from_events",
+    "render_attack_opportunities",
+    "render_deauth_curves",
+    "render_event_table",
+    "render_fmeasure_curves",
+    "render_learning_curves",
+    "render_md_table",
+    "render_rmi_table",
+    "render_std_profile",
+    "render_stream_importance",
+    "render_tradeoff",
+    "render_usability_table",
+    "render_variance_correlations",
+]

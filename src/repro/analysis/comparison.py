@@ -1,0 +1,119 @@
+"""Reproduction of Figure 13: vulnerable time vs total user cost.
+
+The figure compares the inactivity time-out (T = 300 s: zero user cost but
+a large amount of time during which unattended workstations remain
+authenticated) with FADEWICH at increasing sensor counts (a small, quickly
+stabilising user cost buys an exponential reduction of the vulnerable
+time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.baseline import TimeoutBaseline
+from ..core.security import vulnerable_time_seconds
+from ..mobility.events import EventKind, GroundTruthEvent
+from .campaign import AnalysisContext
+from .usability_eval import build_usability_inputs
+from ..core.usability import UsabilitySimulator
+
+__all__ = ["TradeoffPoint", "compute_tradeoff", "render_tradeoff"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of Figure 13: a configuration's security/usability trade-off."""
+
+    label: str
+    vulnerable_time_min: float
+    total_cost_min: float
+
+
+def _absence_lookup(context: AnalysisContext):
+    """Build an event -> absence-duration lookup from the ground truth.
+
+    The absence of a departure is the time until the same user's next
+    office entry (or the end of the day).
+    """
+    absence: Dict[int, float] = {}
+    for day in context.recording.days:
+        events = sorted(day.events, key=lambda e: e.time)
+        for i, event in enumerate(events):
+            if event.kind is not EventKind.DEPARTURE:
+                continue
+            until = day.duration_s - event.time
+            for later in events[i + 1 :]:
+                if later.user_id == event.user_id and later.kind is EventKind.ENTRY:
+                    until = later.time - event.time
+                    break
+            absence[id(event)] = max(until, 0.0)
+
+    def lookup(event: GroundTruthEvent) -> float:
+        return absence.get(id(event), 0.0)
+
+    return lookup
+
+
+def compute_tradeoff(
+    context: AnalysisContext,
+    sensor_counts: Optional[Sequence[int]] = None,
+    *,
+    n_draws: int = 20,
+    seed: int = 0,
+) -> List[TradeoffPoint]:
+    """Compute the Figure 13 points: time-out first, then 3-9 sensors."""
+    points: List[TradeoffPoint] = []
+    lookup = _absence_lookup(context)
+    n_days = context.recording.n_days
+
+    departures = [
+        e
+        for day in context.recording.days
+        for e in day.events
+        if e.kind is EventKind.DEPARTURE
+    ]
+    absences = [lookup(e) for e in departures]
+    baseline = TimeoutBaseline(timeout_s=context.config.timeout_s)
+    points.append(
+        TradeoffPoint(
+            label="timeout",
+            vulnerable_time_min=baseline.vulnerable_time_seconds(departures, absences)
+            / 60.0,
+            total_cost_min=baseline.user_cost_seconds / 60.0,
+        )
+    )
+
+    for n in context.sensor_sweep(sensor_counts):
+        outcomes = context.outcomes(n)
+        vulnerable = vulnerable_time_seconds(outcomes, absence_lookup=lookup)
+        inputs = build_usability_inputs(context, n)
+        simulator = UsabilitySimulator(
+            context.config, rng=np.random.default_rng(seed)
+        )
+        usability = simulator.run(inputs, n_draws=n_draws)
+        points.append(
+            TradeoffPoint(
+                label=f"{n} sensors",
+                vulnerable_time_min=vulnerable / 60.0,
+                total_cost_min=usability.cost_per_day_s * n_days / 60.0,
+            )
+        )
+    return points
+
+
+def render_tradeoff(points: Sequence[TradeoffPoint]) -> str:
+    """Render the Figure 13 data as a text table."""
+    lines = [
+        "Figure 13: vulnerable time vs total user cost (whole campaign)",
+        f"{'configuration':>14} | {'vulnerable (min)':>16} | {'cost (min)':>10}",
+    ]
+    lines.append("-" * len(lines[1]))
+    for p in points:
+        lines.append(
+            f"{p.label:>14} | {p.vulnerable_time_min:16.2f} | {p.total_cost_min:10.2f}"
+        )
+    return "\n".join(lines)

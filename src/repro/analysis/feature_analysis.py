@@ -1,0 +1,172 @@
+"""Reproduction of the appendix feature analysis: Figures 11-12, Table V.
+
+* **Figure 11** — Pearson correlation between the per-stream variance
+  features over the labelled samples (streams between nearby devices react
+  similarly).
+* **Figure 12** — per-stream importance, measured as relative mutual
+  information (RMI) with the class label, visualised on the office floor
+  plan (here: returned as a per-stream score map).
+* **Table V** — the 15 features with the highest RMI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.correlation import CorrelationResult, correlation_matrix
+from ..ml.mutual_info import FeatureImportance, rank_features_by_rmi, stream_importance
+from .campaign import AnalysisContext
+
+__all__ = [
+    "VarianceCorrelationResult",
+    "compute_variance_correlations",
+    "render_variance_correlations",
+    "StreamImportanceResult",
+    "compute_stream_importance",
+    "render_stream_importance",
+    "compute_rmi_ranking",
+    "render_rmi_table",
+]
+
+
+@dataclass(frozen=True)
+class VarianceCorrelationResult:
+    """The Figure 11 correlation matrix over variance features."""
+
+    correlation: CorrelationResult
+
+    @property
+    def stream_ids(self) -> Tuple[str, ...]:
+        return self.correlation.names
+
+    def mean_absolute_correlation(self) -> float:
+        """Mean |corr| over distinct stream pairs (clutter indicator)."""
+        mat = self.correlation.matrix
+        n = mat.shape[0]
+        if n < 2:
+            return 0.0
+        mask = ~np.eye(n, dtype=bool)
+        return float(np.abs(mat[mask]).mean())
+
+
+def compute_variance_correlations(
+    context: AnalysisContext, n_sensors: Optional[int] = None
+) -> VarianceCorrelationResult:
+    """Compute Figure 11 from the labelled samples of a sensor count."""
+    n = n_sensors if n_sensors is not None else context.max_sensors
+    _, dataset = context.sample_dataset(n)
+    if len(dataset) < 2:
+        raise ValueError("need at least two labelled samples for correlations")
+    X, _ = dataset.to_arrays()
+    names = dataset.feature_names
+    var_idx = [i for i, name in enumerate(names) if name.endswith("-var")]
+    var_names = [names[i].rsplit("-", 1)[0] for i in var_idx]
+    return VarianceCorrelationResult(
+        correlation=correlation_matrix(X[:, var_idx], var_names)
+    )
+
+
+def render_variance_correlations(
+    result: VarianceCorrelationResult, top_k: int = 10
+) -> str:
+    """Render a summary of the Figure 11 matrix (full matrix is large)."""
+    mat = result.correlation.matrix
+    names = result.correlation.names
+    lines = [
+        "Figure 11: correlations between per-stream variances",
+        f"streams: {len(names)}",
+        f"mean |correlation| across pairs: {result.mean_absolute_correlation():.3f}",
+        f"top {top_k} most correlated pairs:",
+    ]
+    pairs = []
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            pairs.append((names[i], names[j], float(mat[i, j])))
+    pairs.sort(key=lambda t: abs(t[2]), reverse=True)
+    for a, b, c in pairs[:top_k]:
+        lines.append(f"  {a:>7} ~ {b:<7} corr={c:+.3f}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StreamImportanceResult:
+    """The Figure 12 per-stream importance map."""
+
+    scores: Dict[Tuple[str, str], float]
+    ranked_features: Tuple[FeatureImportance, ...]
+
+    def most_important_streams(self, top_k: int = 10) -> List[Tuple[str, str, float]]:
+        items = sorted(self.scores.items(), key=lambda kv: kv[1], reverse=True)
+        return [(a, b, score) for (a, b), score in items[:top_k]]
+
+    def least_important_sensor(self) -> str:
+        """The sensor whose streams contribute least (the paper singles out d5)."""
+        per_sensor: Dict[str, float] = {}
+        for (a, b), score in self.scores.items():
+            per_sensor[a] = max(per_sensor.get(a, 0.0), score)
+            per_sensor[b] = max(per_sensor.get(b, 0.0), score)
+        if not per_sensor:
+            return ""
+        return min(per_sensor, key=per_sensor.get)
+
+
+def compute_rmi_ranking(
+    context: AnalysisContext,
+    n_sensors: Optional[int] = None,
+    *,
+    bins: int = 256,
+    drop_correlated_above: Optional[float] = 0.95,
+    drop_uncorrelated_below: Optional[float] = None,
+) -> List[FeatureImportance]:
+    """Rank all RE features by RMI with the class label (Table V)."""
+    n = n_sensors if n_sensors is not None else context.max_sensors
+    _, dataset = context.sample_dataset(n)
+    if len(dataset) == 0:
+        raise ValueError("no labelled samples available")
+    X, y = dataset.to_arrays()
+    return rank_features_by_rmi(
+        X,
+        y,
+        dataset.feature_names,
+        bins=bins,
+        drop_correlated_above=drop_correlated_above,
+        drop_uncorrelated_below=drop_uncorrelated_below,
+    )
+
+
+def compute_stream_importance(
+    context: AnalysisContext, n_sensors: Optional[int] = None, *, bins: int = 256
+) -> StreamImportanceResult:
+    """Compute the Figure 12 per-stream importance heat-map data."""
+    ranked = compute_rmi_ranking(
+        context, n_sensors, bins=bins, drop_correlated_above=None
+    )
+    return StreamImportanceResult(
+        scores=stream_importance(ranked), ranked_features=tuple(ranked)
+    )
+
+
+def render_stream_importance(result: StreamImportanceResult, top_k: int = 10) -> str:
+    """Render the Figure 12 data as a ranked list of streams."""
+    lines = ["Figure 12: stream importance (max RMI over the stream's features)"]
+    for a, b, score in result.most_important_streams(top_k):
+        lines.append(f"  {a}-{b}: RMI={score:.4f}")
+    least = result.least_important_sensor()
+    if least:
+        lines.append(f"least informative sensor: {least}")
+    return "\n".join(lines)
+
+
+def render_rmi_table(ranked: Sequence[FeatureImportance], top_k: int = 15) -> str:
+    """Render Table V: the top-k features by RMI."""
+    lines = [
+        "Table V: top features by relative mutual information",
+        f"{'rank':>4} | {'feature':>14} | {'RMI':>7}",
+        "-" * 32,
+    ]
+    for rank, fi in enumerate(ranked[:top_k], start=1):
+        lines.append(f"{rank:>4} | {fi.name:>14} | {fi.rmi:7.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Reproduction of Figures 9 and 10: deauthentication latency and attacks.
+
+* **Figure 9** — proportion of workstations deauthenticated within ``x``
+  seconds of the user leaving, for 3 / 5 / 7 / 9 sensors.
+* **Figure 10** — percentage of departures each adversary (Insider /
+  Co-worker) could exploit, for the time-out baseline and 3-9 sensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.adversary import COWORKER, INSIDER, Adversary, attack_opportunities
+from ..core.baseline import TimeoutBaseline
+from ..core.security import DeauthCase, case_counts, deauthentication_curve
+from ..mobility.events import EventKind
+from .campaign import AnalysisContext
+
+__all__ = [
+    "DeauthCurve",
+    "compute_deauth_curves",
+    "render_deauth_curves",
+    "AttackOpportunityRow",
+    "compute_attack_opportunities",
+    "render_attack_opportunities",
+]
+
+
+@dataclass(frozen=True)
+class DeauthCurve:
+    """One Figure 9 line: cumulative deauthentication percentage vs time."""
+
+    n_sensors: int
+    times: np.ndarray
+    percent_deauthenticated: np.ndarray
+    case_histogram: Dict[DeauthCase, int]
+
+    def percent_within(self, seconds: float) -> float:
+        """Percentage of departures deauthenticated within ``seconds``."""
+        idx = np.searchsorted(self.times, seconds, side="right") - 1
+        if idx < 0:
+            return 0.0
+        return float(self.percent_deauthenticated[idx])
+
+
+def compute_deauth_curves(
+    context: AnalysisContext,
+    sensor_counts: Sequence[int] = (3, 5, 7, 9),
+    max_time_s: float = 10.0,
+) -> List[DeauthCurve]:
+    """Compute the Figure 9 curves."""
+    curves = []
+    for n in sensor_counts:
+        if n > context.max_sensors:
+            continue
+        outcomes = context.outcomes(n)
+        times, percent = deauthentication_curve(outcomes, max_time_s=max_time_s)
+        curves.append(
+            DeauthCurve(
+                n_sensors=n,
+                times=times,
+                percent_deauthenticated=percent,
+                case_histogram=case_counts(outcomes),
+            )
+        )
+    return curves
+
+
+def render_deauth_curves(curves: Sequence[DeauthCurve]) -> str:
+    """Render the Figure 9 data as a text table."""
+    if not curves:
+        return "Figure 9: no curves"
+    lines = ["Figure 9: proportion of deauthenticated workstations vs elapsed time"]
+    checkpoints = [2.0, 4.0, 6.0, 8.0, 10.0]
+    header = f"{'sensors':>8} | " + " | ".join(f"<={t:.0f}s" for t in checkpoints)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for curve in curves:
+        row = f"{curve.n_sensors:>8} | " + " | ".join(
+            f"{curve.percent_within(t):4.0f}%" for t in checkpoints
+        )
+        lines.append(row)
+    for curve in curves:
+        cases = {c.value: n for c, n in curve.case_histogram.items()}
+        lines.append(f"{curve.n_sensors} sensors cases A/B/C: {cases}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AttackOpportunityRow:
+    """One bar group of Figure 10: attack opportunities at one configuration."""
+
+    label: str
+    insider_pct: float
+    coworker_pct: float
+    insider_count: int
+    coworker_count: int
+    total_departures: int
+
+
+def compute_attack_opportunities(
+    context: AnalysisContext,
+    sensor_counts: Optional[Sequence[int]] = None,
+    insider: Adversary = INSIDER,
+    coworker: Adversary = COWORKER,
+) -> List[AttackOpportunityRow]:
+    """Compute the Figure 10 rows: time-out baseline first, then 3-9 sensors."""
+    rows: List[AttackOpportunityRow] = []
+
+    departures = [
+        e
+        for day in context.recording.days
+        for e in day.events
+        if e.kind is EventKind.DEPARTURE
+    ]
+    total = len(departures)
+    baseline = TimeoutBaseline(timeout_s=context.config.timeout_s)
+    b_in = baseline.attack_opportunity_count(departures, insider)
+    b_co = baseline.attack_opportunity_count(departures, coworker)
+    rows.append(
+        AttackOpportunityRow(
+            label="timeout",
+            insider_pct=100.0 * b_in / total if total else 0.0,
+            coworker_pct=100.0 * b_co / total if total else 0.0,
+            insider_count=b_in,
+            coworker_count=b_co,
+            total_departures=total,
+        )
+    )
+
+    for n in context.sensor_sweep(sensor_counts):
+        outcomes = context.outcomes(n)
+        n_total = len(outcomes)
+        ins = len(attack_opportunities(outcomes, insider))
+        cow = len(attack_opportunities(outcomes, coworker))
+        rows.append(
+            AttackOpportunityRow(
+                label=f"{n} sensors",
+                insider_pct=100.0 * ins / n_total if n_total else 0.0,
+                coworker_pct=100.0 * cow / n_total if n_total else 0.0,
+                insider_count=ins,
+                coworker_count=cow,
+                total_departures=n_total,
+            )
+        )
+    return rows
+
+
+def render_attack_opportunities(rows: Sequence[AttackOpportunityRow]) -> str:
+    """Render the Figure 10 data as a text table."""
+    lines = [
+        "Figure 10: attack opportunities (percentage of departures exploitable)",
+        f"{'configuration':>14} | {'Insider':>10} | {'Co-worker':>10} | {'departures':>10}",
+    ]
+    lines.append("-" * len(lines[1]))
+    for row in rows:
+        lines.append(
+            f"{row.label:>14} | "
+            f"{row.insider_pct:6.1f}% ({row.insider_count:>3}) | "
+            f"{row.coworker_pct:6.1f}% ({row.coworker_count:>3}) | "
+            f"{row.total_departures:>10}"
+        )
+    return "\n".join(lines)

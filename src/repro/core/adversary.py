@@ -1,0 +1,90 @@
+"""Adversary models: Insider and Co-worker lunchtime attackers.
+
+The paper's threat model (Section III-A) distinguishes two adversaries who
+both try to take over the departed victim's login session:
+
+* **Insider** — has access to the area *outside* the office; reaching the
+  victim's workstation takes about 4 seconds from the moment the victim
+  exits the office (they must not be witnessed, so they wait for the victim
+  to leave).
+* **Co-worker** — already inside the office; can reach the target
+  workstation the instant the victim walks out of the door.
+
+An *attack opportunity* exists when the adversary reaches the workstation
+while the session is still authenticated, i.e. when the deauthentication
+happens later than the adversary's arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .security import DeauthOutcome
+
+__all__ = ["Adversary", "INSIDER", "COWORKER", "attack_opportunities"]
+
+
+@dataclass(frozen=True)
+class Adversary:
+    """A lunchtime attacker characterised by how fast they reach the target.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name.
+    reach_delay_s:
+        Seconds between the victim exiting the office and the adversary
+        having their hands on the victim's keyboard.
+    """
+
+    name: str
+    reach_delay_s: float
+
+    def __post_init__(self) -> None:
+        if self.reach_delay_s < 0:
+            raise ValueError("reach_delay_s must be non-negative")
+
+    def arrival_time(self, victim_exit_time: float) -> float:
+        """Absolute time at which the adversary reaches the workstation."""
+        return victim_exit_time + self.reach_delay_s
+
+
+INSIDER = Adversary(name="Insider", reach_delay_s=4.0)
+"""The paper's Insider adversary: 4 s to walk in from outside the office."""
+
+COWORKER = Adversary(name="Co-worker", reach_delay_s=0.0)
+"""The paper's Co-worker adversary: already inside the office."""
+
+
+def attack_opportunities(
+    outcomes: Sequence[DeauthOutcome], adversary: Adversary
+) -> List[DeauthOutcome]:
+    """The departures the adversary could have exploited.
+
+    For each departure, the victim's workstation is deauthenticated
+    ``elapsed_s`` seconds after the victim left its proximity; the adversary
+    arrives ``reach_delay_s`` seconds after the victim exited the office.
+    The attack succeeds when the arrival precedes the deauthentication.
+
+    Returns the list of exploitable outcomes (their count, relative to the
+    total number of departures, is what Figure 10 plots).
+    """
+    exploitable: List[DeauthOutcome] = []
+    for outcome in outcomes:
+        event = outcome.event
+        exit_time = event.exit_time if event.exit_time is not None else event.time
+        arrival = adversary.arrival_time(exit_time)
+        deauth_time = event.time + outcome.elapsed_s
+        if deauth_time > arrival:
+            exploitable.append(outcome)
+    return exploitable
+
+
+def attack_opportunity_percentage(
+    outcomes: Sequence[DeauthOutcome], adversary: Adversary
+) -> float:
+    """Percentage of departures the adversary could exploit."""
+    if not outcomes:
+        return 0.0
+    return 100.0 * len(attack_opportunities(outcomes, adversary)) / len(outcomes)

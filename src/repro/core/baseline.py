@@ -1,0 +1,103 @@
+"""Baseline: inactivity time-out deauthentication.
+
+The baseline FADEWICH is compared against (paper Sections V-B and
+Appendix B) is the ubiquitous fixed time-out: a workstation idle for ``T``
+seconds is deauthenticated.  Under the worst-case assumption that the
+departing user's last input coincides with the moment they leave, every
+departure leaves the workstation vulnerable for ``min(T, absence)`` seconds
+and is an attack opportunity for both adversary types whenever ``T``
+exceeds the adversary's reach delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..mobility.events import GroundTruthEvent
+from .adversary import Adversary
+from .security import DeauthCase, DeauthOutcome
+
+__all__ = ["TimeoutBaseline"]
+
+
+@dataclass(frozen=True)
+class TimeoutBaseline:
+    """Fixed inactivity time-out deauthentication.
+
+    Parameters
+    ----------
+    timeout_s:
+        The time-out ``T`` (the paper's comparison uses 300 seconds).
+    """
+
+    timeout_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    def outcomes(self, departures: Sequence[GroundTruthEvent]) -> List[DeauthOutcome]:
+        """Deauthentication outcomes of all departures under the time-out.
+
+        Every departure is deauthenticated exactly ``T`` seconds after the
+        user's last input (assumed to be the departure instant); the
+        decision-tree case is "missed" since no detection is involved.
+        """
+        return [
+            DeauthOutcome(event=e, case=DeauthCase.MISSED, elapsed_s=self.timeout_s)
+            for e in departures
+        ]
+
+    def attack_opportunity_count(
+        self, departures: Sequence[GroundTruthEvent], adversary: Adversary
+    ) -> int:
+        """Number of departures the adversary can exploit under the time-out.
+
+        With any realistic ``T`` (tens of seconds or more) the time-out
+        always exceeds the adversary's reach delay plus the short walk to
+        the door, so every departure is exploitable — the paper's "63 out
+        of 63" observation.
+        """
+        count = 0
+        for e in departures:
+            exit_time = e.exit_time if e.exit_time is not None else e.time
+            arrival = adversary.arrival_time(exit_time)
+            deauth_time = e.time + self.timeout_s
+            if deauth_time > arrival:
+                count += 1
+        return count
+
+    def vulnerable_time_seconds(
+        self,
+        departures: Sequence[GroundTruthEvent],
+        absences_s: Sequence[float],
+    ) -> float:
+        """Total unattended-and-authenticated time under the time-out.
+
+        Parameters
+        ----------
+        departures:
+            The departure events.
+        absences_s:
+            How long each departing user stayed away (same order); the
+            vulnerable interval of a departure is ``min(T, absence)``.
+        """
+        if len(departures) != len(absences_s):
+            raise ValueError("departures and absences must have equal length")
+        total = 0.0
+        for absence in absences_s:
+            if absence < 0:
+                raise ValueError("absence durations must be non-negative")
+            total += min(self.timeout_s, float(absence))
+        return total
+
+    @property
+    def user_cost_seconds(self) -> float:
+        """Usability cost of the time-out approach.
+
+        The time-out never interrupts a present user (it only fires after
+        prolonged inactivity), so its user cost is zero — the left-most
+        point of Figure 13.
+        """
+        return 0.0

@@ -1,0 +1,274 @@
+"""Evaluation pipeline: from a recorded campaign to the paper's metrics.
+
+The analysis modules (one per table / figure) all share the same processing
+chain, which mirrors the paper's Section VII-C procedure:
+
+1. restrict the recorded traces to the streams of the chosen sensor subset,
+2. run offline MD over every day (:func:`~repro.core.movement.detect_offline`),
+3. match the resulting variation windows against the ground-truth events
+   (TP / FP / FN),
+4. extract one labelled RE sample per true positive,
+5. cross-validate the RE classifier over those samples,
+6. combine MD matches and RE predictions into per-departure
+   deauthentication outcomes (cases A / B / C).
+
+This module implements those steps once; the analysis modules compose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..mobility.events import EventKind, GroundTruthEvent
+from ..ml.metrics import DetectionCounts
+from ..ml.validation import stratified_kfold_indices
+from ..radio.links import enumerate_stream_ids
+from ..radio.trace import RssiTrace
+from ..simulation.collector import CampaignRecording, DayRecording
+from ..simulation.dataset import LabeledSample, SampleDataset
+from .config import FadewichConfig
+from .movement import OfflineMDResult, detect_offline
+from .radio_env import RadioEnvironment
+from .security import DeauthOutcome, classify_outcome
+from .windows import MatchResult, VariationWindow, match_windows
+
+__all__ = [
+    "sensor_subset",
+    "streams_for_sensors",
+    "DayEvaluation",
+    "MDEvaluation",
+    "evaluate_md",
+    "build_sample_dataset",
+    "cross_validated_predictions",
+    "departure_outcomes",
+]
+
+
+def sensor_subset(all_sensor_ids: Sequence[str], k: int) -> List[str]:
+    """The first ``k`` sensors of a deployment, in id order.
+
+    The paper sweeps the number of sensors from 3 to 9 (Table III and
+    Figures 7-10); subsets are taken in the deployment's enumeration order.
+    """
+    ids = list(all_sensor_ids)
+    if k < 2:
+        raise ValueError("a subset needs at least 2 sensors")
+    if k > len(ids):
+        raise ValueError(f"requested {k} sensors but only {len(ids)} exist")
+    return ids[:k]
+
+
+def streams_for_sensors(sensor_ids: Sequence[str]) -> List[str]:
+    """All directed stream ids among the given sensors."""
+    return enumerate_stream_ids(list(sensor_ids))
+
+
+@dataclass
+class DayEvaluation:
+    """MD evaluation artefacts of one recorded day."""
+
+    day_index: int
+    trace: RssiTrace
+    md_result: OfflineMDResult
+    match: MatchResult
+    events: List[GroundTruthEvent]
+
+    @property
+    def counts(self) -> DetectionCounts:
+        return self.match.counts
+
+
+@dataclass
+class MDEvaluation:
+    """MD evaluation of a whole campaign for one sensor subset."""
+
+    sensor_ids: Tuple[str, ...]
+    t_delta_s: float
+    days: List[DayEvaluation] = field(default_factory=list)
+
+    @property
+    def counts(self) -> DetectionCounts:
+        """Aggregate TP/FP/FN over all days."""
+        total = DetectionCounts(0, 0, 0)
+        for day in self.days:
+            total = total + day.counts
+        return total
+
+    def rematch(self, t_delta_s: float, slack_s: float) -> "MDEvaluation":
+        """Re-score the same MD windows with a different ``t_delta``.
+
+        MD's variation windows do not depend on ``t_delta`` (it is only a
+        filter), so sweeping ``t_delta`` (Figure 7) reuses the detection
+        results and merely re-runs the matching step.
+        """
+        new_days = []
+        for day in self.days:
+            match = match_windows(
+                day.md_result.windows,
+                day.events,
+                slack_s,
+                min_duration_s=t_delta_s,
+            )
+            new_days.append(
+                DayEvaluation(
+                    day_index=day.day_index,
+                    trace=day.trace,
+                    md_result=day.md_result,
+                    match=match,
+                    events=day.events,
+                )
+            )
+        return MDEvaluation(
+            sensor_ids=self.sensor_ids, t_delta_s=t_delta_s, days=new_days
+        )
+
+
+def evaluate_md(
+    recording: CampaignRecording,
+    config: FadewichConfig,
+    sensor_ids: Sequence[str],
+) -> MDEvaluation:
+    """Run offline MD over every recorded day for one sensor subset."""
+    stream_ids = streams_for_sensors(sensor_ids)
+    evaluation = MDEvaluation(
+        sensor_ids=tuple(sensor_ids), t_delta_s=config.t_delta_s
+    )
+    for day in recording.days:
+        trace = day.trace.restricted_to(stream_ids)
+        md_result = detect_offline(trace, config.md)
+        scored_events = [
+            e
+            for e in day.events
+            if e.kind in (EventKind.DEPARTURE, EventKind.ENTRY)
+        ]
+        match = match_windows(
+            md_result.windows,
+            scored_events,
+            config.true_window_slack_s,
+            min_duration_s=config.t_delta_s,
+        )
+        evaluation.days.append(
+            DayEvaluation(
+                day_index=day.day_index,
+                trace=trace,
+                md_result=md_result,
+                match=match,
+                events=scored_events,
+            )
+        )
+    return evaluation
+
+
+def build_sample_dataset(
+    evaluation: MDEvaluation,
+    config: FadewichConfig,
+    *,
+    random_state: Optional[int] = None,
+) -> Tuple[RadioEnvironment, SampleDataset]:
+    """Extract one labelled RE sample per true positive of an MD evaluation.
+
+    Samples are labelled with the ground truth (the offline analogue of the
+    paper's KMA-based auto-labelling).  Returns the (untrained) RE instance
+    whose feature layout matches the dataset, plus the dataset itself.
+    """
+    stream_ids = streams_for_sensors(evaluation.sensor_ids)
+    re_module = RadioEnvironment(
+        stream_ids=stream_ids, config=config.re, random_state=random_state
+    )
+    dataset = re_module.empty_dataset()
+    for day in evaluation.days:
+        for window, true_window in day.match.true_positive_pairs:
+            label = true_window.event.label
+            if label is None:
+                continue
+            dataset.add(
+                re_module.make_sample(
+                    day.trace,
+                    window,
+                    config.t_delta_s,
+                    label=label,
+                    day_index=day.day_index,
+                )
+            )
+    return re_module, dataset
+
+
+def cross_validated_predictions(
+    re_module: RadioEnvironment,
+    dataset: SampleDataset,
+    *,
+    n_folds: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, str]:
+    """Out-of-fold RE predictions for every sample of the dataset.
+
+    Follows the paper's protocol: the samples are split into ``n_folds``
+    stratified folds; for each fold the classifier is trained on the other
+    folds and predicts the held-out samples.  Returns a mapping from sample
+    index (position in ``dataset.samples``) to the predicted label.
+    """
+    if len(dataset) == 0:
+        return {}
+    if rng is None:
+        rng = np.random.default_rng()
+    X, y = dataset.to_arrays()
+    predictions: Dict[int, str] = {}
+    n_classes = np.unique(y).shape[0]
+    if len(dataset) < n_folds or n_classes < 2:
+        # Too few samples to cross-validate: train and predict in-sample
+        # (the small-sensor-count regimes of the paper hit this too).
+        fitted = re_module.clone_untrained().fit_arrays(X, y)
+        for i, label in enumerate(fitted.classify_many(X)):
+            predictions[i] = label
+        return predictions
+    for train_idx, test_idx in stratified_kfold_indices(y, n_folds, rng):
+        if np.unique(y[train_idx]).shape[0] < 2 or train_idx.size == 0:
+            fallback = str(np.unique(y[train_idx])[0]) if train_idx.size else str(y[0])
+            for i in test_idx:
+                predictions[int(i)] = fallback
+            continue
+        fold_re = re_module.clone_untrained().fit_arrays(X[train_idx], y[train_idx])
+        for i, label in zip(test_idx, fold_re.classify_many(X[test_idx])):
+            predictions[int(i)] = label
+    return predictions
+
+
+def departure_outcomes(
+    evaluation: MDEvaluation,
+    dataset: SampleDataset,
+    predictions: Dict[int, str],
+    config: FadewichConfig,
+) -> List[DeauthOutcome]:
+    """Per-departure deauthentication outcomes (decision-tree cases A/B/C).
+
+    Matches each departure event to its MD variation window (if any) and the
+    out-of-fold RE prediction of the corresponding sample, then classifies
+    the outcome with :func:`~repro.core.security.classify_outcome`.
+    """
+    # Index predictions by (day_index, window start time).
+    prediction_by_key: Dict[Tuple[int, float], str] = {}
+    for idx, label in predictions.items():
+        sample = dataset.samples[idx]
+        prediction_by_key[(sample.day_index, round(sample.time, 6))] = label
+
+    outcomes: List[DeauthOutcome] = []
+    for day in evaluation.days:
+        matched: Dict[int, Tuple[VariationWindow, str]] = {}
+        for window, true_window in day.match.true_positive_pairs:
+            key = (day.day_index, round(window.t_start, 6))
+            predicted = prediction_by_key.get(key)
+            matched[id(true_window.event)] = (window, predicted)
+        for event in day.events:
+            if event.kind is not EventKind.DEPARTURE:
+                continue
+            if id(event) in matched:
+                window, predicted = matched[id(event)]
+                outcomes.append(
+                    classify_outcome(event, window, predicted, config)
+                )
+            else:
+                outcomes.append(classify_outcome(event, None, None, config))
+    return outcomes

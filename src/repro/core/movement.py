@@ -1,0 +1,384 @@
+"""Movement Detection (MD) module — Algorithm 1 of the paper.
+
+MD watches the per-stream RSSI fluctuation level.  At every time step it
+computes the *sum over streams of the standard deviation of the last ``d``
+seconds of measurements* (``s_t``).  A Gaussian-KDE profile of ``s_t`` built
+during a quiet initialisation phase defines "normal"; observations above the
+``(100 - alpha)``-th percentile of the profile CDF are anomalous.  The
+profile is refreshed in batches of ``b`` values whenever a batch contains
+few enough anomalous values (fraction below ``tau``), so it tracks slow
+changes of the radio environment.
+
+Contiguous anomalous reports form *variation windows*; windows lasting at
+least ``t_delta`` trigger system decisions (handled by the controller).
+
+Two entry points:
+
+* :class:`MovementDetector` — the online, sample-by-sample detector used by
+  the live system,
+* :func:`detect_offline` — a vectorised offline run over a recorded
+  :class:`~repro.radio.trace.RssiTrace`, used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ml.kde import GaussianKDE
+from ..radio.trace import RssiTrace, StreamBuffer
+from .config import MDConfig
+from .windows import VariationWindow
+
+__all__ = [
+    "StdSumTracker",
+    "NormalProfile",
+    "MovementDetector",
+    "OfflineMDResult",
+    "rolling_std_sum",
+    "detect_offline",
+]
+
+
+class StdSumTracker:
+    """Maintains the per-stream sliding windows and their std-dev sum.
+
+    Parameters
+    ----------
+    stream_ids:
+        The monitored streams.
+    window_samples:
+        Number of samples of the sliding window (``d`` seconds times the
+        sampling rate).
+    """
+
+    def __init__(self, stream_ids: Sequence[str], window_samples: int) -> None:
+        if window_samples < 2:
+            raise ValueError("window_samples must be >= 2")
+        self._buffer = StreamBuffer(stream_ids, maxlen=window_samples)
+        self._window_samples = window_samples
+
+    @property
+    def window_samples(self) -> int:
+        return self._window_samples
+
+    def update(self, sample: Mapping[str, float]) -> Optional[float]:
+        """Add one multi-stream sample; return the current ``s_t``.
+
+        Returns ``None`` until at least two samples per stream are buffered
+        (a standard deviation needs two points).
+        """
+        self._buffer.append(sample)
+        if self._buffer.fill_level() < 2:
+            return None
+        total = 0.0
+        for sid in self._buffer.stream_ids:
+            total += float(np.std(self._buffer.window(sid)))
+        return total
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+
+class NormalProfile:
+    """The KDE-based normal profile of ``s_t`` with batch updates.
+
+    Implements the profile part of Algorithm 1: initialisation from a quiet
+    period, the ``(100 - alpha)``-th percentile threshold, and the batch
+    update that discards batches containing too many anomalous values.
+    """
+
+    def __init__(self, config: MDConfig, init_samples: int) -> None:
+        if init_samples < 2:
+            raise ValueError("init_samples must be >= 2")
+        self._config = config
+        self._init_samples = init_samples
+        self._init_buffer: List[float] = []
+        self._kde: Optional[GaussianKDE] = None
+        self._threshold: Optional[float] = None
+        self._batch: List[float] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_ready(self) -> bool:
+        """Whether the initial profile has been built."""
+        return self._kde is not None
+
+    @property
+    def threshold(self) -> Optional[float]:
+        """Current anomaly threshold (``None`` until ready)."""
+        return self._threshold
+
+    @property
+    def kde(self) -> Optional[GaussianKDE]:
+        return self._kde
+
+    def _rebuild_threshold(self) -> None:
+        assert self._kde is not None
+        self._threshold = self._kde.percentile(100.0 - self._config.alpha)
+
+    def observe(self, s_t: float) -> Optional[bool]:
+        """Feed one ``s_t`` value; return whether it is anomalous.
+
+        Returns ``None`` while the profile is still initialising (the system
+        makes no decisions during the installation phase).
+        """
+        if not self.is_ready:
+            self._init_buffer.append(float(s_t))
+            if len(self._init_buffer) >= self._init_samples:
+                self._kde = GaussianKDE(self._init_buffer)
+                self._rebuild_threshold()
+            return None
+
+        assert self._threshold is not None
+        anomalous = bool(s_t >= self._threshold)
+
+        # Batch-update bookkeeping (Algorithm 1 lines 6, 10-15).
+        self._batch.append(float(s_t))
+        if len(self._batch) >= self._config.batch_size:
+            anomalous_in_batch = sum(
+                1 for v in self._batch if v >= self._threshold
+            )
+            if anomalous_in_batch / len(self._batch) < self._config.tau:
+                assert self._kde is not None
+                self._kde = self._kde.updated(
+                    self._batch, drop_oldest=len(self._batch)
+                )
+                self._rebuild_threshold()
+            self._batch = []
+        return anomalous
+
+
+@dataclass(frozen=True)
+class OfflineMDResult:
+    """Everything an offline MD run produces.
+
+    Attributes
+    ----------
+    times:
+        Timestamps at which ``s_t`` was defined (the first window's worth of
+        samples has no value).
+    std_sums:
+        The ``s_t`` series (same length as ``times``).
+    windows:
+        All variation windows, regardless of duration (the ``t_delta``
+        filter is applied later by the matching / controller logic).
+    threshold_trace:
+        The anomaly threshold in force at each time step (it moves as the
+        profile updates).
+    """
+
+    times: np.ndarray
+    std_sums: np.ndarray
+    windows: Tuple[VariationWindow, ...]
+    threshold_trace: np.ndarray
+
+    def windows_at_least(self, min_duration_s: float) -> List[VariationWindow]:
+        """Variation windows lasting at least ``min_duration_s``."""
+        return [w for w in self.windows if w.duration >= min_duration_s]
+
+
+class MovementDetector:
+    """Online MD: consumes multi-stream RSSI samples, emits variation windows.
+
+    Parameters
+    ----------
+    stream_ids:
+        Monitored stream ids.
+    config:
+        MD parameters.
+    sample_rate_hz:
+        Sampling rate of the incoming RSSI samples.
+    """
+
+    def __init__(
+        self,
+        stream_ids: Sequence[str],
+        config: Optional[MDConfig] = None,
+        sample_rate_hz: float = 4.0,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        self._config = config if config is not None else MDConfig()
+        self._rate = sample_rate_hz
+        window_samples = max(int(round(self._config.std_window_s * sample_rate_hz)), 2)
+        init_samples = max(int(round(self._config.profile_init_s * sample_rate_hz)), 2)
+        self._tracker = StdSumTracker(stream_ids, window_samples)
+        self._profile = NormalProfile(self._config, init_samples)
+        self._window_start: Optional[float] = None
+        self._last_anomalous_t: Optional[float] = None
+        self._completed: List[VariationWindow] = []
+        self._last_t: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> MDConfig:
+        return self._config
+
+    @property
+    def profile(self) -> NormalProfile:
+        return self._profile
+
+    @property
+    def completed_windows(self) -> List[VariationWindow]:
+        """Variation windows that have already closed."""
+        return list(self._completed)
+
+    def current_window(self, t: float) -> Optional[VariationWindow]:
+        """The variation window currently open at time ``t`` (if any)."""
+        if self._window_start is None:
+            return None
+        return VariationWindow(self._window_start, t)
+
+    def current_window_duration(self, t: float) -> float:
+        """``dW_t``: duration of the most recent variation window at ``t``.
+
+        Zero when no window is open — the quantity driving the controller's
+        state transitions (paper Section IV-G).
+        """
+        if self._window_start is None:
+            return 0.0
+        return max(t - self._window_start, 0.0)
+
+    # ------------------------------------------------------------------ #
+    def process(self, t: float, sample: Mapping[str, float]) -> Optional[bool]:
+        """Consume one sample; return the anomaly decision (or ``None``).
+
+        ``None`` means MD is still initialising (either the std window or
+        the normal profile is not yet full).
+        """
+        if self._last_t is not None and t <= self._last_t:
+            raise ValueError("samples must arrive in strictly increasing time order")
+        self._last_t = t
+
+        s_t = self._tracker.update(sample)
+        if s_t is None:
+            return None
+        anomalous = self._profile.observe(s_t)
+        if anomalous is None:
+            return None
+
+        gap = self._config.merge_gap_s
+        if anomalous:
+            if self._window_start is None:
+                self._window_start = t
+            self._last_anomalous_t = t
+        else:
+            if (
+                self._window_start is not None
+                and self._last_anomalous_t is not None
+                and (t - self._last_anomalous_t) > gap
+            ):
+                self._completed.append(
+                    VariationWindow(self._window_start, self._last_anomalous_t)
+                )
+                self._window_start = None
+                self._last_anomalous_t = None
+        return anomalous
+
+    def finalize(self, t: float) -> None:
+        """Close any open variation window at the end of a run."""
+        if self._window_start is not None and self._last_anomalous_t is not None:
+            self._completed.append(
+                VariationWindow(self._window_start, self._last_anomalous_t)
+            )
+            self._window_start = None
+            self._last_anomalous_t = None
+
+
+# ---------------------------------------------------------------------- #
+# Offline (vectorised) path
+# ---------------------------------------------------------------------- #
+def rolling_std_sum(trace: RssiTrace, window_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``s_t`` series of a recorded trace.
+
+    Returns ``(times, std_sums)`` where the series starts at the first index
+    with a full window.
+    """
+    if window_samples < 2:
+        raise ValueError("window_samples must be >= 2")
+    n = trace.n_samples
+    if n < window_samples:
+        raise ValueError("trace shorter than the std window")
+    matrix = np.column_stack([trace.streams[sid] for sid in trace.stream_ids])
+    # Rolling mean/variance via cumulative sums.
+    csum = np.cumsum(matrix, axis=0)
+    csum2 = np.cumsum(matrix ** 2, axis=0)
+    w = window_samples
+    sum_w = csum[w - 1 :].copy()
+    sum_w[1:] -= csum[: n - w]
+    sum2_w = csum2[w - 1 :].copy()
+    sum2_w[1:] -= csum2[: n - w]
+    mean = sum_w / w
+    var = np.maximum(sum2_w / w - mean ** 2, 0.0)
+    std_sum = np.sqrt(var).sum(axis=1)
+    return trace.times[w - 1 :], std_sum
+
+
+def detect_offline(
+    trace: RssiTrace,
+    config: Optional[MDConfig] = None,
+    *,
+    precomputed: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> OfflineMDResult:
+    """Run Algorithm 1 over a recorded trace.
+
+    Parameters
+    ----------
+    trace:
+        The recorded multi-stream RSSI trace.
+    config:
+        MD parameters.
+    precomputed:
+        Optionally, a ``(times, std_sums)`` pair already computed with
+        :func:`rolling_std_sum` — the per-sensor-count sweeps reuse it to
+        avoid recomputing the rolling statistics.
+    """
+    cfg = config if config is not None else MDConfig()
+    if precomputed is not None:
+        times, std_sums = precomputed
+    else:
+        rate = 1.0 / trace.sample_interval
+        window_samples = max(int(round(cfg.std_window_s * rate)), 2)
+        times, std_sums = rolling_std_sum(trace, window_samples)
+    if times.shape[0] < 2:
+        raise ValueError("not enough samples for offline MD")
+
+    rate = 1.0 / float(np.median(np.diff(times)))
+    init_samples = max(int(round(cfg.profile_init_s * rate)), 2)
+    profile = NormalProfile(cfg, init_samples)
+
+    thresholds = np.full(times.shape[0], np.nan)
+    windows: List[VariationWindow] = []
+    window_start: Optional[float] = None
+    last_anomalous: Optional[float] = None
+
+    for i, (t, s_t) in enumerate(zip(times, std_sums)):
+        anomalous = profile.observe(float(s_t))
+        thresholds[i] = profile.threshold if profile.threshold is not None else np.nan
+        if anomalous is None:
+            continue
+        if anomalous:
+            if window_start is None:
+                window_start = float(t)
+            last_anomalous = float(t)
+        else:
+            if (
+                window_start is not None
+                and last_anomalous is not None
+                and (t - last_anomalous) > cfg.merge_gap_s
+            ):
+                windows.append(VariationWindow(window_start, last_anomalous))
+                window_start = None
+                last_anomalous = None
+    if window_start is not None and last_anomalous is not None:
+        windows.append(VariationWindow(window_start, last_anomalous))
+
+    return OfflineMDResult(
+        times=times,
+        std_sums=std_sums,
+        windows=tuple(windows),
+        threshold_trace=thresholds,
+    )

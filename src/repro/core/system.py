@@ -1,0 +1,217 @@
+"""The complete online FADEWICH system.
+
+Wires together the three modules (KMA, MD, RE), the controller and the
+workstation sessions into a single object that consumes the live RSSI
+sample stream, exactly like the deployed system of the paper (Figure 1).
+
+Two ways to use it:
+
+* **online** — call :meth:`process_sample` for every incoming multi-stream
+  RSSI sample (after training RE via :meth:`train`),
+* **replay** — call :meth:`replay_day` on a recorded
+  :class:`~repro.simulation.collector.DayRecording` to re-live a captured
+  day end to end (used by the integration tests and the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..mobility.events import ENTRY_LABEL
+from ..radio.trace import StreamBuffer
+from ..simulation.collector import DayRecording
+from ..simulation.dataset import SampleDataset
+from ..workstation.idle import TraceIdleProvider
+from ..workstation.session import SessionState, WorkstationSession
+from .config import FadewichConfig
+from .controller import ControllerAction, ControllerState, FadewichController
+from .kma import KeyboardMouseActivity
+from .movement import MovementDetector
+from .radio_env import RadioEnvironment
+
+__all__ = ["ReplayReport", "FadewichSystem"]
+
+
+@dataclass
+class ReplayReport:
+    """Summary of a replayed day.
+
+    Attributes
+    ----------
+    actions:
+        Every controller action (deauthentications and alerts) in order.
+    final_states:
+        The session state of every workstation at the end of the day.
+    deauthentications:
+        Number of Rule-1 deauthentications.
+    alerts:
+        Number of Rule-2 alert activations.
+    screensavers:
+        Number of screen-saver activations across all sessions.
+    """
+
+    actions: List[ControllerAction] = field(default_factory=list)
+    final_states: Dict[str, SessionState] = field(default_factory=dict)
+    deauthentications: int = 0
+    alerts: int = 0
+    screensavers: int = 0
+
+
+class FadewichSystem:
+    """The assembled FADEWICH deployment.
+
+    Parameters
+    ----------
+    stream_ids:
+        The monitored RSSI streams (fixing the RE feature layout).
+    workstation_ids:
+        The protected workstations.
+    config:
+        System configuration.
+    sample_rate_hz:
+        Sampling rate of the incoming RSSI stream.
+    random_state:
+        Seed forwarded to the stochastic components.
+    """
+
+    def __init__(
+        self,
+        stream_ids: Sequence[str],
+        workstation_ids: Sequence[str],
+        config: Optional[FadewichConfig] = None,
+        *,
+        sample_rate_hz: float = 4.0,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if not workstation_ids:
+            raise ValueError("at least one workstation is required")
+        self._config = config if config is not None else FadewichConfig()
+        self._rate = sample_rate_hz
+        self._stream_ids = list(stream_ids)
+        self._workstation_ids = list(workstation_ids)
+        self._re = RadioEnvironment(
+            stream_ids=self._stream_ids,
+            config=self._config.re,
+            random_state=random_state,
+        )
+        self._detector = MovementDetector(
+            self._stream_ids, self._config.md, sample_rate_hz
+        )
+        # Buffer holding the most recent samples, long enough to cover the
+        # [t1, t1 + t_delta] feature window when Rule 1 fires.
+        window_samples = max(
+            int(round(self._config.t_delta_s * sample_rate_hz)) + 2, 4
+        )
+        self._recent = StreamBuffer(self._stream_ids, maxlen=window_samples)
+        self._kma: Optional[KeyboardMouseActivity] = None
+        self._controller: Optional[FadewichController] = None
+        self._sessions: Dict[str, WorkstationSession] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> FadewichConfig:
+        return self._config
+
+    @property
+    def radio_environment(self) -> RadioEnvironment:
+        return self._re
+
+    @property
+    def detector(self) -> MovementDetector:
+        return self._detector
+
+    @property
+    def sessions(self) -> Dict[str, WorkstationSession]:
+        return dict(self._sessions)
+
+    @property
+    def controller_state(self) -> Optional[ControllerState]:
+        return self._controller.state if self._controller else None
+
+    # ------------------------------------------------------------------ #
+    def train(self, dataset: SampleDataset) -> "FadewichSystem":
+        """Train the RE classifier from a labelled sample dataset."""
+        self._re.fit(dataset)
+        return self
+
+    def attach_idle_provider(self, provider) -> "FadewichSystem":
+        """Connect the KMA idle-time source and build the control plane."""
+        self._kma = KeyboardMouseActivity(provider)
+        self._sessions = {
+            wid: WorkstationSession(wid, t_id_s=self._config.t_id_s)
+            for wid in self._workstation_ids
+        }
+        self._controller = FadewichController(
+            config=self._config,
+            kma=self._kma,
+            sessions=self._sessions,
+            entry_label=ENTRY_LABEL,
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _classify_recent_window(self) -> str:
+        """Classify the feature window ending at the current instant."""
+        if not self._re.is_trained:
+            # An untrained RE cannot name a workstation; reporting an office
+            # entry is the safe, do-nothing prediction.
+            return ENTRY_LABEL
+        n = self._recent.fill_level()
+        if n < 2:
+            return ENTRY_LABEL
+        windows = self._recent.windows()
+        features = self._re.extractor.extract(windows)
+        return self._re.classify(features)
+
+    def process_sample(self, t: float, sample: Mapping[str, float]) -> ControllerState:
+        """Feed one multi-stream RSSI sample into the live system."""
+        if self._controller is None or self._kma is None:
+            raise RuntimeError(
+                "call attach_idle_provider() before processing samples"
+            )
+        self._recent.append(sample)
+        self._detector.process(t, sample)
+        d_wt = self._detector.current_window_duration(t)
+        return self._controller.step(t, d_wt, self._classify_recent_window)
+
+    # ------------------------------------------------------------------ #
+    def replay_day(self, day: DayRecording) -> ReplayReport:
+        """Replay a recorded day through the full system.
+
+        The day's activity traces provide both the KMA idle times and the
+        session input events (cancelling alerts / screen savers).
+        """
+        provider = TraceIdleProvider(day.activity)
+        self.attach_idle_provider(provider)
+        assert self._controller is not None
+
+        trace = day.trace.restricted_to(self._stream_ids)
+        times = trace.times
+        prev_t = float(times[0]) - 1.0 / self._rate
+        for i in range(times.shape[0]):
+            t = float(times[i])
+            sample = {sid: float(trace.streams[sid][i]) for sid in self._stream_ids}
+            self.process_sample(t, sample)
+            # Forward keyboard/mouse input to the sessions so alerts cancel
+            # and deauthenticated users eventually log back in.
+            for wid, session in self._sessions.items():
+                if day.activity[wid].has_input_in(prev_t, t):
+                    if session.state is SessionState.DEAUTHENTICATED:
+                        session.reauthenticate(t)
+                    else:
+                        session.register_input(t)
+            prev_t = t
+
+        report = ReplayReport(
+            actions=self._controller.actions,
+            final_states={wid: s.state for wid, s in self._sessions.items()},
+            deauthentications=self._controller.deauthentication_count(),
+            alerts=self._controller.alert_count(),
+            screensavers=sum(
+                s.screensaver_activations() for s in self._sessions.values()
+            ),
+        )
+        return report

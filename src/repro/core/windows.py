@@ -1,0 +1,173 @@
+"""Variation windows and their matching against ground truth.
+
+The MD module emits *variation windows* ``[t1, t2]``: intervals during which
+the radio environment's fluctuation level was anomalous.  The security
+analysis (paper Section V-A) scores them against *true windows*
+``U_t = [t - delta, t + delta]`` centred on every ground-truth movement:
+
+* a variation window overlapping a true window is a **true positive**,
+* a variation window overlapping no true window is a **false positive**,
+* a true window covered by no variation window is a **false negative**.
+
+This module holds the window data types and the matching algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..mobility.events import GroundTruthEvent
+from ..ml.metrics import DetectionCounts
+
+__all__ = [
+    "VariationWindow",
+    "TrueWindow",
+    "MatchResult",
+    "true_window_for_event",
+    "match_windows",
+]
+
+
+@dataclass(frozen=True)
+class VariationWindow:
+    """An interval of anomalous radio fluctuations reported by MD."""
+
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("t_end must be >= t_start")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def overlaps(self, other: "TrueWindow") -> bool:
+        """Whether this window and a true window share any instant."""
+        return self.t_start <= other.t_end and other.t_start <= self.t_end
+
+    def contains(self, t: float) -> bool:
+        return self.t_start <= t <= self.t_end
+
+
+@dataclass(frozen=True)
+class TrueWindow:
+    """The interval in which a ground-truth movement should be detected."""
+
+    t_start: float
+    t_end: float
+    event: GroundTruthEvent
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("t_end must be >= t_start")
+
+
+def true_window_for_event(
+    event: GroundTruthEvent, slack_s: float
+) -> TrueWindow:
+    """Build the true window ``U_t`` for one ground-truth event.
+
+    The window spans from ``slack_s`` before the event to ``slack_s`` after
+    the moment the user finished the movement (the exit time for
+    departures, the event time otherwise), following the paper's
+    ``U_t = [t - delta, t + delta]`` with the movement duration folded in.
+    """
+    if slack_s <= 0:
+        raise ValueError("slack_s must be positive")
+    end_anchor = event.exit_time if event.exit_time is not None else event.time
+    return TrueWindow(
+        t_start=event.time - slack_s, t_end=end_anchor + slack_s, event=event
+    )
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching MD variation windows against ground truth.
+
+    Attributes
+    ----------
+    counts:
+        Aggregate TP/FP/FN counts.
+    true_positive_pairs:
+        ``(variation_window, true_window)`` pairs for the detected events.
+        Each true window appears at most once (the earliest overlapping
+        variation window is kept, as the system would act on it first).
+    false_positive_windows:
+        Variation windows that matched no true window.
+    missed_events:
+        True windows with no overlapping variation window.
+    """
+
+    counts: DetectionCounts
+    true_positive_pairs: Tuple[Tuple[VariationWindow, TrueWindow], ...]
+    false_positive_windows: Tuple[VariationWindow, ...]
+    missed_events: Tuple[TrueWindow, ...]
+
+
+def match_windows(
+    variation_windows: Sequence[VariationWindow],
+    events: Sequence[GroundTruthEvent],
+    slack_s: float,
+    *,
+    min_duration_s: Optional[float] = None,
+) -> MatchResult:
+    """Match MD variation windows to ground-truth events.
+
+    Parameters
+    ----------
+    variation_windows:
+        Windows reported by MD, in any order.
+    events:
+        Ground-truth movement events (departures and entries; internal moves
+        should not be passed — they are neither detections nor misses).
+    slack_s:
+        Half-width of each event's true window.
+    min_duration_s:
+        If given, variation windows shorter than this are discarded before
+        matching — this is the ``t_delta`` filter of the online system.
+    """
+    windows = sorted(variation_windows, key=lambda w: w.t_start)
+    if min_duration_s is not None:
+        windows = [w for w in windows if w.duration >= min_duration_s]
+    true_windows = [true_window_for_event(e, slack_s) for e in events]
+
+    tp_pairs: List[Tuple[VariationWindow, TrueWindow]] = []
+    matched_truth = set()
+    matched_windows = set()
+
+    for ti, tw in enumerate(true_windows):
+        for wi, vw in enumerate(windows):
+            if wi in matched_windows:
+                continue
+            if vw.overlaps(tw):
+                tp_pairs.append((vw, tw))
+                matched_truth.add(ti)
+                matched_windows.add(wi)
+                break
+
+    # Any unmatched variation window that still overlaps *some* true window
+    # (even one already matched) is not a false positive — it corresponds to
+    # a real movement, just a redundant detection of it.
+    false_positives = []
+    for wi, vw in enumerate(windows):
+        if wi in matched_windows:
+            continue
+        if any(vw.overlaps(tw) for tw in true_windows):
+            continue
+        false_positives.append(vw)
+
+    missed = tuple(
+        tw for ti, tw in enumerate(true_windows) if ti not in matched_truth
+    )
+    counts = DetectionCounts(
+        tp=len(tp_pairs), fp=len(false_positives), fn=len(missed)
+    )
+    return MatchResult(
+        counts=counts,
+        true_positive_pairs=tuple(tp_pairs),
+        false_positive_windows=tuple(false_positives),
+        missed_events=missed,
+    )

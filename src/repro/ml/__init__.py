@@ -1,0 +1,103 @@
+"""From-scratch machine-learning substrate used by FADEWICH.
+
+The paper relies on a small toolbox of standard techniques — Gaussian kernel
+density estimation for the MD normal profile, an SVM for the RE classifier,
+k-fold cross-validation for the evaluation and mutual-information feature
+analysis for the appendix.  None of scikit-learn is available offline, so
+this package reimplements each piece on numpy/scipy.
+
+Public API
+----------
+- :class:`~repro.ml.kde.GaussianKDE`
+- :class:`~repro.ml.svm.BinarySVC`, :class:`~repro.ml.multiclass.OneVsOneSVC`
+- :class:`~repro.ml.kernels.LinearKernel`, :class:`~repro.ml.kernels.RBFKernel`,
+  :class:`~repro.ml.kernels.PolynomialKernel`
+- :class:`~repro.ml.scaling.StandardScaler`, :class:`~repro.ml.scaling.MinMaxScaler`
+- :class:`~repro.ml.features.FeatureExtractor` and the window feature functions
+- :class:`~repro.ml.metrics.DetectionCounts`, ``accuracy``, ``confusion_matrix``
+- ``kfold_indices``, ``stratified_kfold_indices``, ``learning_curve``
+- ``relative_mutual_information``, ``rank_features_by_rmi``
+- ``correlation_matrix``
+"""
+
+from .correlation import CorrelationResult, correlation_matrix, most_correlated_pairs
+from .features import (
+    FeatureExtractor,
+    stream_features,
+    window_autocorrelation,
+    window_entropy,
+    window_variance,
+)
+from .kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+from .kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from .metrics import (
+    DetectionCounts,
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    precision,
+    recall,
+)
+from .multiclass import OneVsOneSVC
+from .mutual_info import (
+    FeatureImportance,
+    conditional_entropy,
+    marginal_entropy,
+    quantize,
+    rank_features_by_rmi,
+    relative_mutual_information,
+    stream_importance,
+)
+from .scaling import MinMaxScaler, StandardScaler
+from .svm import BinarySVC, SVMNotFittedError
+from .validation import (
+    LearningCurveResult,
+    cross_val_scores,
+    kfold_indices,
+    learning_curve,
+    stratified_kfold_indices,
+    train_test_split,
+)
+
+__all__ = [
+    "BinarySVC",
+    "CorrelationResult",
+    "DetectionCounts",
+    "FeatureExtractor",
+    "FeatureImportance",
+    "GaussianKDE",
+    "Kernel",
+    "LearningCurveResult",
+    "LinearKernel",
+    "MinMaxScaler",
+    "OneVsOneSVC",
+    "PolynomialKernel",
+    "RBFKernel",
+    "SVMNotFittedError",
+    "StandardScaler",
+    "accuracy",
+    "conditional_entropy",
+    "confusion_matrix",
+    "correlation_matrix",
+    "cross_val_scores",
+    "f_measure",
+    "kfold_indices",
+    "learning_curve",
+    "make_kernel",
+    "marginal_entropy",
+    "most_correlated_pairs",
+    "precision",
+    "quantize",
+    "rank_features_by_rmi",
+    "recall",
+    "relative_mutual_information",
+    "scott_bandwidth",
+    "silverman_bandwidth",
+    "stratified_kfold_indices",
+    "stream_features",
+    "stream_importance",
+    "train_test_split",
+    "window_autocorrelation",
+    "window_entropy",
+    "window_variance",
+]

@@ -1,0 +1,175 @@
+"""Gaussian kernel density estimation for the MD normal profile.
+
+The Movement Detection module builds a "normal profile" of the sum of
+per-stream standard deviations and thresholds new observations against the
+(100 - alpha)-th percentile of the estimated distribution (paper Section
+IV-C2).  The paper estimates the density with a Gaussian kernel; this module
+provides that estimator, with Scott's and Silverman's bandwidth rules, plus
+the CDF / percentile queries Algorithm 1 needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+from scipy.special import erf
+
+__all__ = ["GaussianKDE", "scott_bandwidth", "silverman_bandwidth"]
+
+
+def scott_bandwidth(data: np.ndarray) -> float:
+    """Scott's rule of thumb bandwidth ``sigma * n^(-1/5)``."""
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    if n < 2:
+        return 1.0
+    sigma = float(np.std(data, ddof=1))
+    if sigma <= 0:
+        return 1.0
+    return sigma * n ** (-1.0 / 5.0)
+
+
+def silverman_bandwidth(data: np.ndarray) -> float:
+    """Silverman's rule of thumb, robust to heavy tails via the IQR."""
+    data = np.asarray(data, dtype=float)
+    n = data.shape[0]
+    if n < 2:
+        return 1.0
+    sigma = float(np.std(data, ddof=1))
+    iqr = float(np.subtract(*np.percentile(data, [75, 25])))
+    spread = min(sigma, iqr / 1.349) if iqr > 0 else sigma
+    if spread <= 0:
+        return 1.0
+    return 0.9 * spread * n ** (-1.0 / 5.0)
+
+
+class GaussianKDE:
+    """One-dimensional Gaussian kernel density estimator.
+
+    Parameters
+    ----------
+    data:
+        Sample of the quantity being profiled (e.g. the sums of per-stream
+        standard deviations observed while the office is quiet).
+    bandwidth:
+        Kernel bandwidth ``h``.  If a string, one of ``"scott"`` or
+        ``"silverman"``; if a float, used directly.
+
+    Notes
+    -----
+    The estimated density is
+
+    .. math:: \\hat f(x) = \\frac{1}{n h} \\sum_i K\\left(\\frac{x - x_i}{h}\\right)
+
+    with ``K`` the standard normal pdf, exactly the form in the paper's
+    Section IV-C1.
+    """
+
+    def __init__(
+        self,
+        data: Iterable[float],
+        bandwidth: Union[str, float] = "scott",
+    ) -> None:
+        data = np.asarray(list(data) if not isinstance(data, np.ndarray) else data,
+                          dtype=float).ravel()
+        if data.size == 0:
+            raise ValueError("GaussianKDE requires at least one data point")
+        self._data = data
+        if isinstance(bandwidth, str):
+            if bandwidth == "scott":
+                self._h = scott_bandwidth(data)
+            elif bandwidth == "silverman":
+                self._h = silverman_bandwidth(data)
+            else:
+                raise ValueError(f"unknown bandwidth rule: {bandwidth!r}")
+        else:
+            h = float(bandwidth)
+            if h <= 0:
+                raise ValueError("bandwidth must be positive")
+            self._h = h
+
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """The training sample (read-only view)."""
+        return self._data
+
+    @property
+    def bandwidth(self) -> float:
+        """The kernel bandwidth in use."""
+        return self._h
+
+    @property
+    def n(self) -> int:
+        """Number of training points."""
+        return int(self._data.shape[0])
+
+    # ------------------------------------------------------------------ #
+    def pdf(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        """Evaluate the estimated density at ``x`` (scalar or array)."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        z = (x[:, None] - self._data[None, :]) / self._h
+        dens = np.exp(-0.5 * z ** 2).sum(axis=1)
+        dens /= self.n * self._h * np.sqrt(2.0 * np.pi)
+        return dens
+
+    def cdf(self, x: Union[float, np.ndarray]) -> np.ndarray:
+        """Evaluate the estimated cumulative distribution at ``x``."""
+        x = np.atleast_1d(np.asarray(x, dtype=float))
+        z = (x[:, None] - self._data[None, :]) / self._h
+        return 0.5 * (1.0 + erf(z / np.sqrt(2.0))).mean(axis=1)
+
+    def percentile(self, q: float, *, tol: float = 1e-6, max_iter: int = 200) -> float:
+        """Return the value below which ``q`` percent of the mass lies.
+
+        Parameters
+        ----------
+        q:
+            Percentile in ``[0, 100]``.  Algorithm 1 queries the
+            ``(100 - alpha)``-th percentile as its anomaly threshold.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be within [0, 100]")
+        target = q / 100.0
+        lo = float(self._data.min() - 10.0 * self._h)
+        hi = float(self._data.max() + 10.0 * self._h)
+        # Expand until the CDF brackets the target.
+        for _ in range(64):
+            if float(self.cdf(lo)[0]) <= target:
+                break
+            lo -= 10.0 * self._h
+        for _ in range(64):
+            if float(self.cdf(hi)[0]) >= target:
+                break
+            hi += 10.0 * self._h
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            if float(self.cdf(mid)[0]) < target:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tol:
+                break
+        return 0.5 * (lo + hi)
+
+    def sample(self, size: int, rng: np.random.Generator = None) -> np.ndarray:
+        """Draw ``size`` samples from the estimated density."""
+        if rng is None:
+            rng = np.random.default_rng()
+        centers = rng.choice(self._data, size=size, replace=True)
+        return centers + rng.normal(0.0, self._h, size=size)
+
+    def updated(self, new_data: Iterable[float], drop_oldest: int = 0) -> "GaussianKDE":
+        """Return a new KDE with ``new_data`` appended.
+
+        The MD module's profile update (Section IV-C3) appends a batch of
+        recent measurements while removing the ``drop_oldest`` oldest ones so
+        the profile tracks the slowly varying radio environment.
+        """
+        new_data = np.asarray(list(new_data), dtype=float).ravel()
+        kept = self._data[drop_oldest:] if drop_oldest > 0 else self._data
+        combined = np.concatenate([kept, new_data])
+        if combined.size == 0:
+            raise ValueError("profile update would leave no data")
+        return GaussianKDE(combined, bandwidth="scott")

@@ -1,0 +1,132 @@
+"""Kernel functions for the SVM substrate.
+
+FADEWICH's Radio Environment (RE) module classifies radio signatures with a
+Support Vector Machine.  scikit-learn is not available in this environment,
+so the kernels (and the SMO solver in :mod:`repro.ml.svm`) are implemented
+from scratch on top of numpy.
+
+A kernel is represented by a :class:`Kernel` object exposing a single
+``__call__(X, Y)`` computing the Gram matrix between two sample matrices of
+shapes ``(n, d)`` and ``(m, d)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "LinearKernel",
+    "RBFKernel",
+    "PolynomialKernel",
+    "make_kernel",
+]
+
+
+class Kernel:
+    """Base class for kernel functions.
+
+    Subclasses implement :meth:`gram` returning the kernel matrix
+    ``K[i, j] = k(X[i], Y[j])``.
+    """
+
+    name = "base"
+
+    def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Y = np.atleast_2d(np.asarray(Y, dtype=float))
+        if X.shape[1] != Y.shape[1]:
+            raise ValueError(
+                f"feature dimension mismatch: {X.shape[1]} vs {Y.shape[1]}"
+            )
+        return self.gram(X, Y)
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        """Return ``k(x_i, x_i)`` for each row of ``X`` (used by SMO)."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.einsum("ij,ij->i", X, X) if False else np.diag(self(X, X))
+
+
+@dataclass
+class LinearKernel(Kernel):
+    """The linear kernel ``k(x, y) = x . y``."""
+
+    name = "linear"
+
+    def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return X @ Y.T
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.einsum("ij,ij->i", X, X)
+
+
+@dataclass
+class RBFKernel(Kernel):
+    """The Gaussian radial basis function kernel.
+
+    ``k(x, y) = exp(-gamma * ||x - y||^2)``
+
+    Parameters
+    ----------
+    gamma:
+        Inverse length-scale.  If ``None``, a data-dependent default of
+        ``1 / n_features`` is used at fit time by the SVM.
+    """
+
+    gamma: float = 1.0
+    name = "rbf"
+
+    def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        sq_x = np.einsum("ij,ij->i", X, X)[:, None]
+        sq_y = np.einsum("ij,ij->i", Y, Y)[None, :]
+        sq_dist = np.maximum(sq_x + sq_y - 2.0 * (X @ Y.T), 0.0)
+        return np.exp(-self.gamma * sq_dist)
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return np.ones(X.shape[0])
+
+
+@dataclass
+class PolynomialKernel(Kernel):
+    """The polynomial kernel ``k(x, y) = (gamma * x.y + coef0) ** degree``."""
+
+    degree: int = 3
+    gamma: float = 1.0
+    coef0: float = 1.0
+    name = "poly"
+
+    def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        dot = np.einsum("ij,ij->i", X, X)
+        return (self.gamma * dot + self.coef0) ** self.degree
+
+
+def make_kernel(name: str, **params) -> Kernel:
+    """Construct a kernel by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"linear"``, ``"rbf"`` or ``"poly"``.
+    params:
+        Keyword parameters forwarded to the kernel constructor
+        (e.g. ``gamma`` for the RBF kernel).
+    """
+    name = name.lower()
+    if name == "linear":
+        return LinearKernel()
+    if name == "rbf":
+        return RBFKernel(**params)
+    if name in ("poly", "polynomial"):
+        return PolynomialKernel(**params)
+    raise ValueError(f"unknown kernel: {name!r}")

@@ -1,0 +1,123 @@
+"""Multi-class SVM classification via one-vs-one voting.
+
+FADEWICH's RE module distinguishes k+1 classes (``w0`` = "somebody entered
+the office", ``w1..wk`` = "the user at workstation i left").  The binary SMO
+solver in :mod:`repro.ml.svm` is composed into a multi-class classifier with
+the one-vs-one strategy used by libsvm: one binary machine per unordered
+class pair, predictions by majority vote with ties broken by the summed
+decision-function margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .svm import BinarySVC, SVMNotFittedError
+
+__all__ = ["OneVsOneSVC"]
+
+
+@dataclass
+class OneVsOneSVC:
+    """One-vs-one multi-class support vector classifier.
+
+    Parameters mirror :class:`~repro.ml.svm.BinarySVC` and are forwarded to
+    every pairwise machine.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.array([[0.0], [0.1], [5.0], [5.1], [10.0], [10.1]])
+    >>> y = np.array([0, 0, 1, 1, 2, 2])
+    >>> clf = OneVsOneSVC(C=10.0, kernel="rbf").fit(X, y)
+    >>> clf.predict([[0.05], [5.05], [9.9]]).tolist()
+    [0, 1, 2]
+    """
+
+    C: float = 1.0
+    kernel: object = "rbf"
+    gamma: Optional[float] = None
+    tol: float = 1e-3
+    max_passes: int = 5
+    max_iter: int = 200
+    random_state: Optional[int] = None
+
+    classes_: np.ndarray = field(default=None, repr=False)
+    estimators_: Dict[Tuple[int, int], BinarySVC] = field(
+        default_factory=dict, repr=False
+    )
+    _fitted: bool = field(default=False, repr=False)
+
+    def _make_binary(self) -> BinarySVC:
+        return BinarySVC(
+            C=self.C,
+            kernel=self.kernel,
+            gamma=self.gamma,
+            tol=self.tol,
+            max_passes=self.max_passes,
+            max_iter=self.max_iter,
+            random_state=self.random_state,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "OneVsOneSVC":
+        """Fit one binary SVM per unordered pair of classes present in ``y``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        self.classes_ = np.unique(y)
+        self.estimators_ = {}
+        for a, b in combinations(range(self.classes_.shape[0]), 2):
+            ca, cb = self.classes_[a], self.classes_[b]
+            mask = (y == ca) | (y == cb)
+            est = self._make_binary()
+            est.fit(X[mask], y[mask])
+            self.estimators_[(a, b)] = est
+        self._fitted = True
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict by one-vs-one majority vote.
+
+        Ties are broken by the accumulated absolute decision margin each
+        class obtained across its pairwise contests.
+        """
+        if not self._fitted:
+            raise SVMNotFittedError("call fit() before predict()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = X.shape[0]
+        n_classes = self.classes_.shape[0]
+        if n_classes == 1:
+            return np.full(n, self.classes_[0])
+
+        votes = np.zeros((n, n_classes))
+        margins = np.zeros((n, n_classes))
+        for (a, b), est in self.estimators_.items():
+            ca, cb = self.classes_[a], self.classes_[b]
+            pred = est.predict(X)
+            if est.classes_.shape[0] == 2:
+                score = est.decision_function(X)
+            else:
+                score = np.zeros(n)
+            for cls_idx, cls in ((a, ca), (b, cb)):
+                won = pred == cls
+                votes[won, cls_idx] += 1
+                margins[won, cls_idx] += np.abs(score[won])
+
+        # lexicographic argmax on (votes, margins)
+        best = np.zeros(n, dtype=int)
+        for i in range(n):
+            order = np.lexsort((margins[i], votes[i]))
+            best[i] = order[-1]
+        return self.classes_[best]
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy of :meth:`predict` on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

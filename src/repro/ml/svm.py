@@ -1,0 +1,234 @@
+"""Binary soft-margin Support Vector Machine trained with SMO.
+
+The Radio Environment module of FADEWICH uses an SVM to map a radio
+signature (per-stream variance / entropy / autocorrelation features) to the
+workstation whose user caused it.  scikit-learn is unavailable offline, so
+this module implements a binary C-SVM with the Sequential Minimal
+Optimization (SMO) algorithm of Platt (1998), with the usual working-set
+heuristics (maximal KKT violation for the first multiplier, maximal
+|E_i - E_j| for the second).
+
+Only the binary classifier lives here; multi-class composition (one-vs-one
+voting, as in libsvm) lives in :mod:`repro.ml.multiclass`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .kernels import Kernel, RBFKernel, make_kernel
+
+__all__ = ["BinarySVC", "SVMNotFittedError"]
+
+
+class SVMNotFittedError(RuntimeError):
+    """Raised when ``predict`` / ``decision_function`` precede ``fit``."""
+
+
+@dataclass
+class BinarySVC:
+    """Binary C-support-vector classifier.
+
+    Parameters
+    ----------
+    C:
+        Soft-margin penalty.  Larger values penalise margin violations more.
+    kernel:
+        Either a :class:`~repro.ml.kernels.Kernel` instance or a kernel name
+        (``"linear"``, ``"rbf"``, ``"poly"``).
+    gamma:
+        RBF/poly kernel coefficient.  ``None`` selects ``1 / (n_features *
+        Var(X))`` ("scale" heuristic) at fit time.
+    tol:
+        KKT violation tolerance used as the SMO stopping criterion.
+    max_passes:
+        Number of consecutive full passes without any multiplier update
+        required before training stops.
+    max_iter:
+        Hard cap on optimisation sweeps, as a safety net.
+    random_state:
+        Seed for the tie-breaking randomness in the second-choice heuristic.
+
+    Notes
+    -----
+    Labels passed to :meth:`fit` may be any two distinct values; internally
+    they are mapped to ``{-1, +1}`` and :meth:`predict` returns the original
+    values.
+    """
+
+    C: float = 1.0
+    kernel: object = "rbf"
+    gamma: Optional[float] = None
+    tol: float = 1e-3
+    max_passes: int = 5
+    max_iter: int = 200
+    random_state: Optional[int] = None
+
+    # fitted state
+    support_vectors_: np.ndarray = field(default=None, repr=False)
+    dual_coef_: np.ndarray = field(default=None, repr=False)
+    intercept_: float = field(default=0.0, repr=False)
+    classes_: np.ndarray = field(default=None, repr=False)
+    _kernel_obj: Kernel = field(default=None, repr=False)
+    _fitted: bool = field(default=False, repr=False)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def _resolve_kernel(self, X: np.ndarray) -> Kernel:
+        if isinstance(self.kernel, Kernel):
+            return self.kernel
+        gamma = self.gamma
+        if gamma is None:
+            var = float(X.var()) if X.size else 1.0
+            if var <= 0.0:
+                var = 1.0
+            gamma = 1.0 / (X.shape[1] * var)
+        if self.kernel == "rbf":
+            return RBFKernel(gamma=gamma)
+        if self.kernel in ("poly", "polynomial"):
+            return make_kernel("poly", gamma=gamma)
+        return make_kernel(str(self.kernel))
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinarySVC":
+        """Train the classifier on samples ``X`` with binary labels ``y``."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y have inconsistent lengths")
+        classes = np.unique(y)
+        if classes.shape[0] == 1:
+            # Degenerate but not an error: always predict the single class.
+            self.classes_ = classes
+            self.support_vectors_ = X[:1]
+            self.dual_coef_ = np.zeros(1)
+            self.intercept_ = 1.0
+            self._kernel_obj = self._resolve_kernel(X)
+            self._fitted = True
+            return self
+        if classes.shape[0] != 2:
+            raise ValueError(
+                f"BinarySVC requires exactly 2 classes, got {classes.shape[0]}"
+            )
+        self.classes_ = classes
+        y_signed = np.where(y == classes[1], 1.0, -1.0)
+
+        kernel = self._resolve_kernel(X)
+        self._kernel_obj = kernel
+        K = kernel(X, X)
+
+        n = X.shape[0]
+        alpha = np.zeros(n)
+        b = 0.0
+        rng = np.random.default_rng(self.random_state)
+
+        def decision(i: int) -> float:
+            return float((alpha * y_signed) @ K[:, i] + b)
+
+        passes = 0
+        it = 0
+        while passes < self.max_passes and it < self.max_iter:
+            num_changed = 0
+            for i in range(n):
+                E_i = decision(i) - y_signed[i]
+                r_i = E_i * y_signed[i]
+                if (r_i < -self.tol and alpha[i] < self.C) or (
+                    r_i > self.tol and alpha[i] > 0
+                ):
+                    # second-choice heuristic: maximise |E_i - E_j|
+                    errors = (alpha * y_signed) @ K + b - y_signed
+                    j = int(np.argmax(np.abs(errors - E_i)))
+                    if j == i:
+                        j = int(rng.integers(0, n - 1))
+                        if j >= i:
+                            j += 1
+                    E_j = float(errors[j])
+
+                    alpha_i_old, alpha_j_old = alpha[i], alpha[j]
+                    if y_signed[i] != y_signed[j]:
+                        L = max(0.0, alpha[j] - alpha[i])
+                        H = min(self.C, self.C + alpha[j] - alpha[i])
+                    else:
+                        L = max(0.0, alpha[i] + alpha[j] - self.C)
+                        H = min(self.C, alpha[i] + alpha[j])
+                    if L >= H:
+                        continue
+
+                    eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                    if eta >= 0:
+                        continue
+
+                    alpha_j_new = alpha_j_old - y_signed[j] * (E_i - E_j) / eta
+                    alpha_j_new = min(max(alpha_j_new, L), H)
+                    if abs(alpha_j_new - alpha_j_old) < 1e-7:
+                        continue
+                    alpha_i_new = alpha_i_old + y_signed[i] * y_signed[j] * (
+                        alpha_j_old - alpha_j_new
+                    )
+
+                    b1 = (
+                        b
+                        - E_i
+                        - y_signed[i] * (alpha_i_new - alpha_i_old) * K[i, i]
+                        - y_signed[j] * (alpha_j_new - alpha_j_old) * K[i, j]
+                    )
+                    b2 = (
+                        b
+                        - E_j
+                        - y_signed[i] * (alpha_i_new - alpha_i_old) * K[i, j]
+                        - y_signed[j] * (alpha_j_new - alpha_j_old) * K[j, j]
+                    )
+                    if 0 < alpha_i_new < self.C:
+                        b = b1
+                    elif 0 < alpha_j_new < self.C:
+                        b = b2
+                    else:
+                        b = (b1 + b2) / 2.0
+
+                    alpha[i], alpha[j] = alpha_i_new, alpha_j_new
+                    num_changed += 1
+            it += 1
+            if num_changed == 0:
+                passes += 1
+            else:
+                passes = 0
+
+        sv_mask = alpha > 1e-8
+        if not np.any(sv_mask):
+            # No support vectors found (e.g. perfectly separated trivial data);
+            # keep everything so decision_function remains defined.
+            sv_mask = np.ones(n, dtype=bool)
+        self.support_vectors_ = X[sv_mask]
+        self.dual_coef_ = (alpha * y_signed)[sv_mask]
+        self.intercept_ = float(b)
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Prediction
+    # ------------------------------------------------------------------ #
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Return the signed distance to the separating hyperplane."""
+        if not self._fitted:
+            raise SVMNotFittedError("call fit() before decision_function()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        K = self._kernel_obj(X, self.support_vectors_)
+        return K @ self.dual_coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict class labels (in the original label space) for ``X``."""
+        if not self._fitted:
+            raise SVMNotFittedError("call fit() before predict()")
+        if self.classes_.shape[0] == 1:
+            X = np.atleast_2d(np.asarray(X, dtype=float))
+            return np.full(X.shape[0], self.classes_[0])
+        scores = self.decision_function(X)
+        return np.where(scores >= 0, self.classes_[1], self.classes_[0])
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean accuracy of :meth:`predict` on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

@@ -1,0 +1,203 @@
+"""Cross-validation utilities.
+
+The paper evaluates the RE classifier with 5-fold cross-validation repeated
+10 times to smooth out the randomness of the split (Section VII-B), and
+plots a learning curve over increasing training-set sizes.  This module
+provides plain and stratified k-fold splitters plus the repeated
+learning-curve machinery, without any external ML dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .metrics import accuracy
+
+__all__ = [
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "train_test_split",
+    "cross_val_scores",
+    "learning_curve",
+    "LearningCurveResult",
+]
+
+
+def kfold_indices(
+    n_samples: int, n_folds: int, rng: Optional[np.random.Generator] = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` pairs for a shuffled k-fold split."""
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    if n_samples < n_folds:
+        raise ValueError("more folds than samples")
+    if rng is None:
+        rng = np.random.default_rng()
+    perm = rng.permutation(n_samples)
+    folds = np.array_split(perm, n_folds)
+    for i in range(n_folds):
+        test_idx = folds[i]
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        yield train_idx, test_idx
+
+
+def stratified_kfold_indices(
+    y: Sequence, n_folds: int, rng: Optional[np.random.Generator] = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield k-fold splits preserving per-class proportions.
+
+    Classes with fewer members than folds are spread as evenly as possible;
+    a class may then be absent from some training folds, matching what
+    happens with the paper's small event counts.
+    """
+    y = np.asarray(y)
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    if y.shape[0] < n_folds:
+        raise ValueError("more folds than samples")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    fold_members: List[List[int]] = [[] for _ in range(n_folds)]
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        idx = rng.permutation(idx)
+        for pos, sample_idx in enumerate(idx):
+            fold_members[pos % n_folds].append(int(sample_idx))
+
+    for i in range(n_folds):
+        test_idx = np.asarray(sorted(fold_members[i]), dtype=int)
+        train_idx = np.asarray(
+            sorted(j for k in range(n_folds) if k != i for j in fold_members[k]),
+            dtype=int,
+        )
+        yield train_idx, test_idx
+
+
+def train_test_split(
+    n_samples: int,
+    test_fraction: float = 0.2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(train_idx, test_idx)`` for a single shuffled split."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if rng is None:
+        rng = np.random.default_rng()
+    perm = rng.permutation(n_samples)
+    n_test = max(1, int(round(test_fraction * n_samples)))
+    n_test = min(n_test, n_samples - 1)
+    return perm[n_test:], perm[:n_test]
+
+
+def cross_val_scores(
+    make_estimator: Callable[[], object],
+    X: np.ndarray,
+    y: Sequence,
+    n_folds: int = 5,
+    *,
+    stratified: bool = True,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Accuracy of a freshly constructed estimator on each CV fold.
+
+    ``make_estimator`` must return an unfitted object exposing ``fit`` and
+    ``predict`` (e.g. a lambda constructing :class:`~repro.ml.multiclass.OneVsOneSVC`).
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y)
+    splitter = (
+        stratified_kfold_indices(y, n_folds, rng)
+        if stratified
+        else kfold_indices(X.shape[0], n_folds, rng)
+    )
+    scores = []
+    for train_idx, test_idx in splitter:
+        est = make_estimator()
+        est.fit(X[train_idx], y[train_idx])
+        scores.append(accuracy(y[test_idx], est.predict(X[test_idx])))
+    return np.asarray(scores)
+
+
+@dataclass(frozen=True)
+class LearningCurveResult:
+    """Learning-curve data: accuracy as a function of training-set size.
+
+    Attributes
+    ----------
+    train_sizes:
+        Numbers of training samples evaluated.
+    mean_accuracy:
+        Mean test accuracy across folds and repeats, per training size.
+    ci95:
+        Half-width of the 95 % confidence interval across repeats, per size
+        (the error bars of Figure 8).
+    all_scores:
+        Raw matrix of shape ``(len(train_sizes), n_repeats)`` of per-repeat
+        fold-averaged accuracies.
+    """
+
+    train_sizes: np.ndarray
+    mean_accuracy: np.ndarray
+    ci95: np.ndarray
+    all_scores: np.ndarray
+
+
+def learning_curve(
+    make_estimator: Callable[[], object],
+    X: np.ndarray,
+    y: Sequence,
+    train_sizes: Sequence[int],
+    *,
+    n_folds: int = 5,
+    n_repeats: int = 10,
+    rng: Optional[np.random.Generator] = None,
+) -> LearningCurveResult:
+    """Reproduce the paper's Figure 8 protocol.
+
+    For each repeat, the data is split into ``n_folds`` stratified folds.
+    For each fold and each requested training-set size ``m``, the estimator
+    is trained on the first ``m`` samples of the training fold (shuffled) and
+    scored on the test fold.  The per-repeat score of a size is the mean over
+    folds; the reported mean and 95 % confidence interval are over repeats.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    y = np.asarray(y)
+    if rng is None:
+        rng = np.random.default_rng()
+    sizes = np.asarray(sorted(set(int(s) for s in train_sizes if s >= 1)), dtype=int)
+    if sizes.size == 0:
+        raise ValueError("train_sizes must contain at least one positive size")
+
+    scores = np.full((sizes.size, n_repeats), np.nan)
+    for rep in range(n_repeats):
+        fold_scores: Dict[int, List[float]] = {int(s): [] for s in sizes}
+        for train_idx, test_idx in stratified_kfold_indices(y, n_folds, rng):
+            shuffled = rng.permutation(train_idx)
+            for s in sizes:
+                if s > shuffled.size:
+                    continue
+                subset = shuffled[:s]
+                if np.unique(y[subset]).size < 1:
+                    continue
+                est = make_estimator()
+                est.fit(X[subset], y[subset])
+                fold_scores[int(s)].append(
+                    accuracy(y[test_idx], est.predict(X[test_idx]))
+                )
+        for si, s in enumerate(sizes):
+            vals = fold_scores[int(s)]
+            if vals:
+                scores[si, rep] = float(np.mean(vals))
+
+    mean = np.nanmean(scores, axis=1)
+    std = np.nanstd(scores, axis=1)
+    counts = np.sum(~np.isnan(scores), axis=1)
+    counts[counts == 0] = 1
+    ci95 = 1.96 * std / np.sqrt(counts)
+    return LearningCurveResult(
+        train_sizes=sizes, mean_accuracy=mean, ci95=ci95, all_scores=scores
+    )

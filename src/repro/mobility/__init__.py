@@ -1,0 +1,49 @@
+"""Human mobility substrate.
+
+Replaces the paper's three real users observed for five working days with a
+behavioural simulator (see DESIGN.md):
+
+* :mod:`~repro.mobility.person` — user state machines (seated / walking /
+  absent) with seat fidgeting,
+* :mod:`~repro.mobility.trajectory` — constant-speed walks through
+  waypoints, including departure / entry trajectories,
+* :mod:`~repro.mobility.behavior` — departure rates and absence durations,
+* :mod:`~repro.mobility.scheduler` — overlap-free day / campaign schedules,
+* :mod:`~repro.mobility.events` — the ground-truth event log the evaluation
+  scores against.
+"""
+
+from .behavior import AbsenceSampler, BehaviorProfile
+from .events import ENTRY_LABEL, EventKind, EventLog, GroundTruthEvent
+from .person import Person, PresenceState
+from .scheduler import (
+    CampaignSchedule,
+    DaySchedule,
+    PlannedMovement,
+    ScheduleGenerator,
+)
+from .trajectory import (
+    Trajectory,
+    departure_trajectory,
+    entry_trajectory,
+    walk_through,
+)
+
+__all__ = [
+    "ENTRY_LABEL",
+    "AbsenceSampler",
+    "BehaviorProfile",
+    "CampaignSchedule",
+    "DaySchedule",
+    "EventKind",
+    "EventLog",
+    "GroundTruthEvent",
+    "Person",
+    "PlannedMovement",
+    "PresenceState",
+    "ScheduleGenerator",
+    "Trajectory",
+    "departure_trajectory",
+    "entry_trajectory",
+    "walk_through",
+]

@@ -1,0 +1,62 @@
+"""Radio propagation substrate: the simulated office testbed.
+
+The paper's evaluation runs on nine physical wireless sensors in a 6 m x 3 m
+office.  This package replaces that hardware with a physics-inspired
+simulator (see DESIGN.md, substitution table):
+
+* :mod:`~repro.radio.geometry` — planar geometry primitives,
+* :mod:`~repro.radio.office` — the office layout (sensors d1..d9,
+  workstations w1..w3, the single door), including :func:`paper_office`,
+* :mod:`~repro.radio.pathloss` — log-distance / free-space path loss,
+* :mod:`~repro.radio.fading` — quiescent noise and per-link fade levels,
+* :mod:`~repro.radio.shadowing` — the human-body obstruction model,
+* :mod:`~repro.radio.links` — the m*(m-1) directed stream enumeration,
+* :mod:`~repro.radio.channel` — the composite channel producing RSSI samples,
+* :mod:`~repro.radio.trace` — stream buffers and full trace containers.
+"""
+
+from .channel import ChannelConfig, RadioChannel
+from .fading import LinkFadeLevel, QuiescentNoise, SkewLaplace
+from .geometry import (
+    Point,
+    Segment,
+    distance,
+    excess_path_length,
+    interpolate,
+    path_length,
+    point_segment_distance,
+)
+from .links import LinkSet, Stream, enumerate_stream_ids, stream_id
+from .office import OfficeLayout, Sensor, Workstation, paper_office
+from .pathloss import FreeSpacePathLoss, LogDistancePathLoss
+from .shadowing import BodyShadowingModel, ShadowingEffect
+from .trace import RssiTrace, StreamBuffer
+
+__all__ = [
+    "BodyShadowingModel",
+    "ChannelConfig",
+    "FreeSpacePathLoss",
+    "LinkFadeLevel",
+    "LinkSet",
+    "LogDistancePathLoss",
+    "OfficeLayout",
+    "Point",
+    "QuiescentNoise",
+    "RadioChannel",
+    "RssiTrace",
+    "Segment",
+    "Sensor",
+    "ShadowingEffect",
+    "SkewLaplace",
+    "Stream",
+    "StreamBuffer",
+    "Workstation",
+    "distance",
+    "enumerate_stream_ids",
+    "excess_path_length",
+    "interpolate",
+    "paper_office",
+    "path_length",
+    "point_segment_distance",
+    "stream_id",
+]

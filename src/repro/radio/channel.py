@@ -1,0 +1,274 @@
+"""Composite channel model: from body positions to RSSI samples.
+
+Ties together the large-scale path loss, the per-link fade level, the
+quiescent noise and the body-shadowing model.  Given the positions of all
+people in the office at a sampling instant, :class:`RadioChannel` produces
+one quantised RSSI sample (dBm) per directed stream — the quantity the
+paper's sensors report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from .fading import QuiescentNoise
+from .geometry import Point
+from .links import LinkSet
+from .pathloss import LogDistancePathLoss
+from .shadowing import BodyShadowingModel
+
+__all__ = ["ChannelConfig", "RadioChannel"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Configuration of the composite radio channel.
+
+    Attributes
+    ----------
+    tx_power_dbm:
+        Transmit power of the sensor radios.
+    pathloss:
+        Large-scale path-loss model.
+    noise:
+        Quiescent (no-motion) noise model.
+    shadowing:
+        Human-body shadowing model.
+    quantization_db:
+        RSSI register resolution; real radios report integer dBm, i.e. 1.0.
+        Set to 0 to disable quantisation.
+    rssi_floor_dbm:
+        Sensitivity floor below which measurements saturate.
+    slow_drift_sigma_db:
+        Standard deviation of a slow random-walk drift common to the whole
+        environment (temperature, interference level changing over minutes).
+    slow_drift_tau_s:
+        Mean-reversion time constant of the drift (Ornstein-Uhlenbeck).
+    """
+
+    tx_power_dbm: float = 4.0
+    pathloss: LogDistancePathLoss = field(default_factory=LogDistancePathLoss)
+    noise: QuiescentNoise = field(default_factory=QuiescentNoise)
+    shadowing: BodyShadowingModel = field(default_factory=BodyShadowingModel)
+    quantization_db: float = 1.0
+    rssi_floor_dbm: float = -95.0
+    slow_drift_sigma_db: float = 0.5
+    slow_drift_tau_s: float = 120.0
+
+
+class RadioChannel:
+    """Stateful radio channel producing per-stream RSSI samples.
+
+    The channel holds a small amount of state: the slow environmental drift
+    (an Ornstein-Uhlenbeck process shared by all links, representing slowly
+    varying interference and temperature effects) so that consecutive
+    samples are realistically correlated over minutes.
+
+    Parameters
+    ----------
+    links:
+        The deployment's directed streams.
+    config:
+        Channel configuration.
+    rng:
+        Random generator for all stochastic components.
+    sample_interval_s:
+        Time between consecutive calls to :meth:`sample` (used to scale the
+        drift process).
+    """
+
+    def __init__(
+        self,
+        links: LinkSet,
+        config: Optional[ChannelConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        sample_interval_s: float = 0.25,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError("sample interval must be positive")
+        self._links = links
+        self._config = config if config is not None else ChannelConfig()
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._dt = sample_interval_s
+        self._drift = 0.0
+        # Pre-compute the static mean RSSI of every stream.
+        self._mean_rssi: Dict[str, float] = {
+            s.id: self._config.pathloss.mean_rssi_dbm(
+                s.length, tx_power_dbm=self._config.tx_power_dbm
+            )
+            for s in links
+        }
+        # Vectorised per-stream arrays used by the fast sampling path.
+        self._stream_order = links.stream_ids
+        self._tx_xy = np.asarray(
+            [[s.tx_position.x, s.tx_position.y] for s in links], dtype=float
+        )
+        self._rx_xy = np.asarray(
+            [[s.rx_position.x, s.rx_position.y] for s in links], dtype=float
+        )
+        self._link_len = np.linalg.norm(self._tx_xy - self._rx_xy, axis=1)
+        self._sensitivity = np.asarray(
+            [s.fade.sensitivity for s in links], dtype=float
+        )
+        self._mean_vec = np.asarray(
+            [self._mean_rssi[sid] for sid in self._stream_order], dtype=float
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def links(self) -> LinkSet:
+        return self._links
+
+    @property
+    def config(self) -> ChannelConfig:
+        return self._config
+
+    @property
+    def stream_ids(self):
+        """Stream ids in the channel's enumeration order."""
+        return self._links.stream_ids
+
+    def mean_rssi(self, sid: str) -> float:
+        """The undisturbed mean RSSI of a stream (dBm)."""
+        return self._mean_rssi[sid]
+
+    # ------------------------------------------------------------------ #
+    def _advance_drift(self) -> float:
+        cfg = self._config
+        if cfg.slow_drift_sigma_db <= 0:
+            return 0.0
+        theta = self._dt / max(cfg.slow_drift_tau_s, self._dt)
+        self._drift += -theta * self._drift + self._rng.normal(
+            0.0, cfg.slow_drift_sigma_db * np.sqrt(theta)
+        )
+        return self._drift
+
+    def _shadowing_vectors(self, bodies, speeds) -> np.ndarray:
+        """Per-stream ``(attenuation_db, extra_sigma_db)`` for the given bodies.
+
+        Vectorised over streams: the excess path length and segment distance
+        of every body with respect to every link are computed with numpy
+        expressions, applying the same attenuation / static-sigma / motion-
+        sigma profile as :class:`~repro.radio.shadowing.BodyShadowingModel`.
+        """
+        n = self._tx_xy.shape[0]
+        if not bodies:
+            return np.zeros((2, n))
+        sh = self._config.shadowing
+        body_xy = np.asarray([[b.x, b.y] for b in bodies], dtype=float)
+        speeds = np.asarray(speeds, dtype=float)
+        # distances body -> tx and body -> rx, shape (n_bodies, n_streams)
+        d_tx = np.linalg.norm(body_xy[:, None, :] - self._tx_xy[None, :, :], axis=2)
+        d_rx = np.linalg.norm(body_xy[:, None, :] - self._rx_xy[None, :, :], axis=2)
+        delta = np.maximum(d_tx + d_rx - self._link_len[None, :], 0.0)
+        reach = sh.lambda_m * sh.sigma_reach_multiplier
+        within = delta <= reach
+        atten = np.where(
+            within,
+            sh.max_attenuation_db
+            * np.exp(-sh.attenuation_decay * delta / sh.lambda_m),
+            0.0,
+        )
+        sigma = np.where(
+            within, sh.max_extra_sigma_db * np.exp(-delta / sh.lambda_m), 0.0
+        )
+        # Motion-induced fluctuation: distance from each body to each link
+        # segment, speed-scaled exponential decay.
+        link_vec = self._rx_xy - self._tx_xy  # (n_streams, 2)
+        link_len_sq = np.maximum(self._link_len ** 2, 1e-12)
+        rel = body_xy[:, None, :] - self._tx_xy[None, :, :]
+        t_par = np.clip(
+            np.einsum("bsd,sd->bs", rel, link_vec) / link_len_sq, 0.0, 1.0
+        )
+        closest = self._tx_xy[None, :, :] + t_par[:, :, None] * link_vec[None, :, :]
+        seg_dist = np.linalg.norm(body_xy[:, None, :] - closest, axis=2)
+        speed_factor = np.minimum(
+            speeds / sh.motion_reference_speed, 1.5
+        )[:, None]
+        motion_sigma = (
+            sh.motion_sigma_db * speed_factor * np.exp(-seg_dist / sh.motion_range_m)
+        )
+        total_atten = atten.sum(axis=0) * self._sensitivity
+        total_sigma = (
+            np.sqrt((sigma ** 2).sum(axis=0) + (motion_sigma ** 2).sum(axis=0))
+            * self._sensitivity
+        )
+        return np.vstack([total_atten, total_sigma])
+
+    def sample_vector(
+        self,
+        body_positions: Iterable[Point],
+        body_speeds: Optional[Iterable[float]] = None,
+    ) -> np.ndarray:
+        """One RSSI sample per stream as an array in stream-id order.
+
+        Parameters
+        ----------
+        body_positions:
+            Positions of every person inside the office.
+        body_speeds:
+            Their instantaneous speeds (m/s), in the same order.  Omitted
+            speeds default to zero (static bodies).
+
+        This is the fast path used by the campaign collector; :meth:`sample`
+        wraps it into a dictionary.
+        """
+        bodies = list(body_positions)
+        if body_speeds is None:
+            speeds = [0.0] * len(bodies)
+        else:
+            speeds = [float(s) for s in body_speeds]
+        if len(speeds) != len(bodies):
+            raise ValueError("body_speeds must match body_positions in length")
+        cfg = self._config
+        drift = self._advance_drift()
+        n = self._mean_vec.shape[0]
+
+        atten, extra_sigma = self._shadowing_vectors(bodies, speeds)
+        noise = self._rng.normal(0.0, cfg.noise.base_sigma_db * self._sensitivity)
+        if cfg.noise.outlier_prob > 0:
+            outliers = self._rng.random(n) < cfg.noise.outlier_prob
+            noise = noise + outliers * self._rng.normal(
+                0.0, cfg.noise.outlier_scale_db, n
+            )
+        extra = np.where(
+            extra_sigma > 0, self._rng.normal(0.0, 1.0, n) * extra_sigma, 0.0
+        )
+        rssi = self._mean_vec - atten + noise + extra + drift
+        rssi = np.maximum(rssi, cfg.rssi_floor_dbm)
+        if cfg.quantization_db > 0:
+            rssi = np.round(rssi / cfg.quantization_db) * cfg.quantization_db
+        return rssi
+
+    def sample(
+        self,
+        body_positions: Iterable[Point],
+        body_speeds: Optional[Iterable[float]] = None,
+    ) -> Dict[str, float]:
+        """One RSSI sample per stream, given current body positions.
+
+        Parameters
+        ----------
+        body_positions:
+            Positions of every person currently inside the office.  People
+            sitting at their desks count too — they are simply far from most
+            links' sensitive ellipses and mostly contribute nothing.
+        body_speeds:
+            Their instantaneous speeds (m/s); zero (static) when omitted.
+
+        Returns
+        -------
+        dict
+            Mapping stream id -> RSSI sample in dBm.
+        """
+        values = self.sample_vector(body_positions, body_speeds)
+        return {
+            sid: float(values[i]) for i, sid in enumerate(self._stream_order)
+        }
+
+    def reset(self) -> None:
+        """Reset the slow drift state (e.g. between independent campaigns)."""
+        self._drift = 0.0

@@ -1,0 +1,143 @@
+"""Small-scale fading and measurement noise models.
+
+In a cluttered office, RSSI fluctuates even when nothing moves: thermal
+noise, quantisation, interference and residual multipath variation produce
+a quiescent jitter of roughly 0.5-2 dB.  When a body moves near a link the
+multipath structure is disturbed and the fluctuation grows by several dB.
+
+Two pieces live here:
+
+* :class:`QuiescentNoise` — the per-link noise floor when nobody moves.  The
+  per-link magnitude is drawn from a *fade level* distribution: deep-fade
+  links are intrinsically noisier and also more sensitive to motion
+  (Patwari & Wilson's skew-Laplace fade-level observation).
+* :class:`SkewLaplace` — the skew-Laplace distribution itself, used both to
+  draw fade levels and as a heavy-tailed perturbation when links are
+  disturbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SkewLaplace", "QuiescentNoise", "LinkFadeLevel"]
+
+
+@dataclass(frozen=True)
+class SkewLaplace:
+    """Skew-Laplace distribution.
+
+    Density (up to normalisation): exponential decay with rate ``lam_neg``
+    below the mode and ``lam_pos`` above it.  Used by Patwari & Wilson to
+    model RSSI changes on obstructed links: obstruction mostly attenuates
+    (long negative tail) but can occasionally enhance via constructive
+    multipath (short positive tail).
+
+    Parameters
+    ----------
+    mode:
+        Location of the distribution's peak (dB).
+    lam_neg:
+        Decay rate of the negative (attenuation) side; smaller = heavier tail.
+    lam_pos:
+        Decay rate of the positive (enhancement) side.
+    """
+
+    mode: float = 0.0
+    lam_neg: float = 0.4
+    lam_pos: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.lam_neg <= 0 or self.lam_pos <= 0:
+            raise ValueError("decay rates must be positive")
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> np.ndarray:
+        """Draw samples.  Negative-side mass is lam_pos/(lam_neg+lam_pos)."""
+        p_neg = self.lam_pos / (self.lam_neg + self.lam_pos)
+        n = 1 if size is None else int(size)
+        below = rng.random(n) < p_neg
+        mags = np.where(
+            below,
+            -rng.exponential(1.0 / self.lam_neg, n),
+            rng.exponential(1.0 / self.lam_pos, n),
+        )
+        out = self.mode + mags
+        if size is None:
+            return float(out[0])
+        return out
+
+    def mean(self) -> float:
+        """Analytical mean of the distribution."""
+        p_neg = self.lam_pos / (self.lam_neg + self.lam_pos)
+        return self.mode - p_neg / self.lam_neg + (1 - p_neg) / self.lam_pos
+
+
+@dataclass(frozen=True)
+class LinkFadeLevel:
+    """Static per-link fade level.
+
+    Each link in a multipath-rich room sits at a different point of its
+    small-scale fading pattern.  Links in a deep fade ("anti-fade" in the
+    Patwari-Wilson terminology) respond strongly to nearby motion; links at
+    a fading peak barely react.  The fade level is a unitless sensitivity in
+    ``[min_sensitivity, max_sensitivity]`` drawn once per link.
+    """
+
+    sensitivity: float
+
+    def __post_init__(self) -> None:
+        if self.sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+
+    @staticmethod
+    def draw(
+        rng: np.random.Generator,
+        min_sensitivity: float = 0.6,
+        max_sensitivity: float = 1.6,
+    ) -> "LinkFadeLevel":
+        """Draw a random per-link fade level uniformly in the given range."""
+        if min_sensitivity < 0 or max_sensitivity < min_sensitivity:
+            raise ValueError("invalid sensitivity range")
+        return LinkFadeLevel(
+            sensitivity=float(rng.uniform(min_sensitivity, max_sensitivity))
+        )
+
+
+@dataclass(frozen=True)
+class QuiescentNoise:
+    """The per-sample RSSI jitter of an undisturbed link.
+
+    Modelled as Gaussian noise with a per-link standard deviation equal to
+    ``base_sigma_db * fade_sensitivity``, plus an occasional heavy-tailed
+    outlier (packet collisions, interference bursts) with probability
+    ``outlier_prob``.
+    """
+
+    base_sigma_db: float = 0.9
+    outlier_prob: float = 0.01
+    outlier_scale_db: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base_sigma_db < 0:
+            raise ValueError("base sigma must be non-negative")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError("outlier probability must be in [0, 1]")
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        fade_sensitivity: float = 1.0,
+        size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Draw noise samples for a link with the given fade sensitivity."""
+        n = 1 if size is None else int(size)
+        noise = rng.normal(0.0, self.base_sigma_db * fade_sensitivity, n)
+        if self.outlier_prob > 0:
+            outliers = rng.random(n) < self.outlier_prob
+            noise = noise + outliers * rng.normal(0.0, self.outlier_scale_db, n)
+        if size is None:
+            return float(noise[0])
+        return noise

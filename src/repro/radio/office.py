@@ -1,0 +1,177 @@
+"""Office layout: the experiment room of the paper.
+
+The paper's testbed is a 6 m x 3 m office with three workstations (w1, w2,
+w3), a single door, and nine wireless sensors (d1..d9) placed along the
+walls about one metre above the floor (Figure 6).  This module describes the
+layout as data: sensor positions, workstation positions and seat locations,
+and the door position, with a factory reproducing the paper's office and a
+generic constructor for "future work" style what-if layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .geometry import Point
+
+__all__ = ["Sensor", "Workstation", "OfficeLayout", "paper_office"]
+
+
+@dataclass(frozen=True)
+class Sensor:
+    """A wireless sensor node.
+
+    Attributes
+    ----------
+    sensor_id:
+        Identifier such as ``"d1"``.
+    position:
+        Mounting position in the office plane (metres).
+    """
+
+    sensor_id: str
+    position: Point
+
+
+@dataclass(frozen=True)
+class Workstation:
+    """A workstation with its seat position.
+
+    Attributes
+    ----------
+    workstation_id:
+        Identifier such as ``"w1"``.
+    position:
+        Desk position in the plane.
+    seat:
+        Where the assigned user sits (used as the origin of departure
+        trajectories).  Defaults to the desk position.
+    """
+
+    workstation_id: str
+    position: Point
+    seat: Optional[Point] = None
+
+    @property
+    def seat_position(self) -> Point:
+        return self.seat if self.seat is not None else self.position
+
+
+@dataclass(frozen=True)
+class OfficeLayout:
+    """An office floor plan with sensors, workstations and one door.
+
+    The paper's system model assumes a single entrance; the layout therefore
+    carries exactly one door point.
+    """
+
+    width: float
+    height: float
+    sensors: Tuple[Sensor, ...]
+    workstations: Tuple[Workstation, ...]
+    door: Point
+    name: str = "office"
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("office dimensions must be positive")
+        ids = [s.sensor_id for s in self.sensors]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate sensor ids")
+        wids = [w.workstation_id for w in self.workstations]
+        if len(set(wids)) != len(wids):
+            raise ValueError("duplicate workstation ids")
+        for s in self.sensors:
+            if not self.contains(s.position):
+                raise ValueError(f"sensor {s.sensor_id} lies outside the office")
+        for w in self.workstations:
+            if not self.contains(w.position):
+                raise ValueError(
+                    f"workstation {w.workstation_id} lies outside the office"
+                )
+
+    # ------------------------------------------------------------------ #
+    def contains(self, p: Point, margin: float = 1e-9) -> bool:
+        """Whether a point lies inside the office rectangle."""
+        return (
+            -margin <= p.x <= self.width + margin
+            and -margin <= p.y <= self.height + margin
+        )
+
+    @property
+    def sensor_ids(self) -> List[str]:
+        return [s.sensor_id for s in self.sensors]
+
+    @property
+    def workstation_ids(self) -> List[str]:
+        return [w.workstation_id for w in self.workstations]
+
+    def sensor(self, sensor_id: str) -> Sensor:
+        """Look up a sensor by id."""
+        for s in self.sensors:
+            if s.sensor_id == sensor_id:
+                return s
+        raise KeyError(f"no sensor named {sensor_id!r}")
+
+    def workstation(self, workstation_id: str) -> Workstation:
+        """Look up a workstation by id."""
+        for w in self.workstations:
+            if w.workstation_id == workstation_id:
+                return w
+        raise KeyError(f"no workstation named {workstation_id!r}")
+
+    def sensor_positions(self) -> Dict[str, Point]:
+        return {s.sensor_id: s.position for s in self.sensors}
+
+    def with_sensors(self, sensor_ids: Sequence[str]) -> "OfficeLayout":
+        """A copy of the layout restricted to a subset of sensors.
+
+        The evaluation sweeps the number of sensors from 3 to 9 (Table III,
+        Figures 7-10); subsets are taken in the given order.
+        """
+        selected = tuple(self.sensor(sid) for sid in sensor_ids)
+        return OfficeLayout(
+            width=self.width,
+            height=self.height,
+            sensors=selected,
+            workstations=self.workstations,
+            door=self.door,
+            name=f"{self.name}[{len(selected)} sensors]",
+        )
+
+
+def paper_office() -> OfficeLayout:
+    """The 6 m x 3 m office of the paper's experiment (Figure 6).
+
+    Sensor and workstation coordinates are read off the published floor
+    plan: d2..d5 along the bottom wall, d1 on the right wall, d6..d9 along
+    the top wall / left side, workstations w1 (right), w2 (middle-top), w3
+    (left), door at the bottom-left corner.
+    """
+    width, height = 6.0, 3.0
+    sensors = (
+        Sensor("d1", Point(5.9, 1.5)),
+        Sensor("d2", Point(1.0, 0.1)),
+        Sensor("d3", Point(2.3, 0.1)),
+        Sensor("d4", Point(3.6, 0.1)),
+        Sensor("d5", Point(4.9, 0.1)),
+        Sensor("d6", Point(5.4, 2.9)),
+        Sensor("d7", Point(4.0, 2.9)),
+        Sensor("d8", Point(2.6, 2.9)),
+        Sensor("d9", Point(1.2, 2.9)),
+    )
+    workstations = (
+        Workstation("w1", Point(5.3, 2.2), seat=Point(5.0, 1.9)),
+        Workstation("w2", Point(3.3, 2.4), seat=Point(3.3, 2.0)),
+        Workstation("w3", Point(1.4, 2.3), seat=Point(1.6, 1.9)),
+    )
+    door = Point(0.2, 0.4)
+    return OfficeLayout(
+        width=width,
+        height=height,
+        sensors=sensors,
+        workstations=workstations,
+        door=door,
+        name="paper-office",
+    )

@@ -1,0 +1,95 @@
+"""Large-scale path-loss models.
+
+The mean received power of a link is governed by distance-dependent path
+loss.  The simulator uses the standard log-distance model
+
+.. math:: PL(d) = PL(d_0) + 10 n \\log_{10}(d / d_0)
+
+with a path-loss exponent ``n`` typical of cluttered indoor offices
+(2.5-4).  The mean RSSI of a link is then ``P_tx + G - PL(d)``.
+
+Absolute values only need to be plausible (the FADEWICH pipeline works on
+fluctuations, not absolute RSSI), but keeping the model physical makes the
+simulated traces realistic: longer links are weaker, closer to the noise
+floor and relatively noisier.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LogDistancePathLoss", "FreeSpacePathLoss"]
+
+
+@dataclass(frozen=True)
+class LogDistancePathLoss:
+    """Log-distance path loss with configurable exponent.
+
+    Parameters
+    ----------
+    exponent:
+        Path-loss exponent ``n``; 2.0 is free space, 3.0-4.0 is a cluttered
+        indoor office.
+    reference_distance:
+        ``d_0`` in metres.
+    reference_loss_db:
+        ``PL(d_0)`` in dB.  The default of 40 dB at 1 m roughly matches
+        2.4 GHz hardware.
+    """
+
+    exponent: float = 3.0
+    reference_distance: float = 1.0
+    reference_loss_db: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.exponent <= 0:
+            raise ValueError("path-loss exponent must be positive")
+        if self.reference_distance <= 0:
+            raise ValueError("reference distance must be positive")
+
+    def loss_db(self, dist: float) -> float:
+        """Path loss in dB at the given distance (metres)."""
+        if dist < 0:
+            raise ValueError("distance must be non-negative")
+        d = max(dist, self.reference_distance * 1e-3)
+        return self.reference_loss_db + 10.0 * self.exponent * math.log10(
+            d / self.reference_distance
+        )
+
+    def mean_rssi_dbm(self, dist: float, tx_power_dbm: float = 4.0,
+                      antenna_gain_db: float = 0.0) -> float:
+        """Mean RSSI (dBm) of a link at the given distance."""
+        return tx_power_dbm + antenna_gain_db - self.loss_db(dist)
+
+
+@dataclass(frozen=True)
+class FreeSpacePathLoss:
+    """Free-space (Friis) path loss, mostly useful as a sanity baseline.
+
+    .. math:: PL(d) = 20 \\log_{10}(d) + 20 \\log_{10}(f) - 147.55
+
+    with ``f`` in Hz and ``d`` in metres.
+    """
+
+    frequency_hz: float = 2.4e9
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    def loss_db(self, dist: float) -> float:
+        """Free-space path loss in dB at the given distance (metres)."""
+        if dist < 0:
+            raise ValueError("distance must be non-negative")
+        d = max(dist, 1e-3)
+        return (
+            20.0 * math.log10(d)
+            + 20.0 * math.log10(self.frequency_hz)
+            - 147.55
+        )
+
+    def mean_rssi_dbm(self, dist: float, tx_power_dbm: float = 4.0,
+                      antenna_gain_db: float = 0.0) -> float:
+        """Mean RSSI (dBm) of a link at the given distance."""
+        return tx_power_dbm + antenna_gain_db - self.loss_db(dist)

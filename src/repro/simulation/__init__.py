@@ -1,0 +1,21 @@
+"""Simulation harness: clocks, campaign collection and labelled datasets.
+
+* :mod:`~repro.simulation.clock` — the fixed-rate simulation clock,
+* :mod:`~repro.simulation.collector` — executes movement schedules against
+  the simulated office and records RSSI traces, ground-truth events and
+  input activity (the paper's five-day measurement campaign),
+* :mod:`~repro.simulation.dataset` — labelled RE sample datasets.
+"""
+
+from .clock import SimulationClock
+from .collector import CampaignCollector, CampaignRecording, DayRecording
+from .dataset import LabeledSample, SampleDataset
+
+__all__ = [
+    "CampaignCollector",
+    "CampaignRecording",
+    "DayRecording",
+    "LabeledSample",
+    "SampleDataset",
+    "SimulationClock",
+]

@@ -1,0 +1,384 @@
+"""Campaign data collection.
+
+Plays the role of the paper's five-day measurement campaign: it executes a
+:class:`~repro.mobility.scheduler.CampaignSchedule` against the simulated
+office, producing for every day
+
+* the multi-stream RSSI trace recorded by the sensors,
+* the ground-truth event log (the "human supervisor" of the paper),
+* the per-workstation keyboard/mouse activity traces.
+
+The collector is deterministic given its random generator, so experiments
+and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..mobility.behavior import BehaviorProfile
+from ..mobility.events import EventKind, EventLog, GroundTruthEvent
+from ..mobility.person import Person, PresenceState
+from ..mobility.scheduler import CampaignSchedule, DaySchedule, ScheduleGenerator
+from ..mobility.trajectory import (
+    Trajectory,
+    departure_trajectory,
+    entry_trajectory,
+    walk_through,
+)
+from ..radio.channel import ChannelConfig, RadioChannel
+from ..radio.geometry import Point
+from ..radio.links import LinkSet
+from ..radio.office import OfficeLayout
+from ..radio.trace import RssiTrace
+from ..workstation.activity import ActivityTrace, InputActivityModel
+from .clock import SimulationClock
+
+__all__ = ["DayRecording", "CampaignRecording", "CampaignCollector"]
+
+
+@dataclass
+class DayRecording:
+    """Everything recorded during one simulated working day."""
+
+    day_index: int
+    duration_s: float
+    trace: RssiTrace
+    events: EventLog
+    activity: Dict[str, ActivityTrace]
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class CampaignRecording:
+    """A full multi-day campaign recording."""
+
+    days: List[DayRecording]
+    layout: OfficeLayout
+
+    @property
+    def n_days(self) -> int:
+        return len(self.days)
+
+    def label_counts(self) -> Dict[str, int]:
+        """Aggregate Table-II-style label histogram over all days."""
+        counts: Dict[str, int] = {}
+        for day in self.days:
+            for label, n in day.events.label_counts().items():
+                counts[label] = counts.get(label, 0) + n
+        return counts
+
+    def total_labelled_events(self) -> int:
+        return sum(len(day.events.labelled()) for day in self.days)
+
+    def total_departures(self) -> int:
+        return sum(len(day.events.departures()) for day in self.days)
+
+
+class CampaignCollector:
+    """Executes movement schedules against the simulated office.
+
+    Parameters
+    ----------
+    layout:
+        The office.
+    clock:
+        Sampling clock (default 4 Hz).
+    channel_config:
+        Radio channel configuration.
+    seed:
+        Seed of the campaign's random generator; every stochastic component
+        (fade levels, noise, input activity, schedules drawn through
+        :meth:`collect_generated`) derives from it.
+    """
+
+    def __init__(
+        self,
+        layout: OfficeLayout,
+        *,
+        clock: Optional[SimulationClock] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self._layout = layout
+        self._clock = clock if clock is not None else SimulationClock()
+        self._rng = np.random.default_rng(seed)
+        self._links = LinkSet(layout, self._rng)
+        self._channel_config = (
+            channel_config if channel_config is not None else ChannelConfig()
+        )
+        self._activity_model = InputActivityModel(rng=self._rng)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def layout(self) -> OfficeLayout:
+        return self._layout
+
+    @property
+    def links(self) -> LinkSet:
+        return self._links
+
+    @property
+    def clock(self) -> SimulationClock:
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+    def _make_people(self) -> Dict[str, Person]:
+        people: Dict[str, Person] = {}
+        for w in self._layout.workstations:
+            user_id = ScheduleGenerator.user_for(w.workstation_id)
+            people[user_id] = Person(
+                user_id=user_id,
+                workstation_id=w.workstation_id,
+                seat=w.seat_position,
+            )
+        return people
+
+    def _desk_detour(self, seat: Point) -> Point:
+        """A waypoint stepping away from the desk towards the room centre.
+
+        Users do not walk in a straight line from their chair to the door:
+        they push the chair back and step around the desk first.  The detour
+        also makes every departure last roughly the five seconds the paper
+        reports as the average workstation-to-door walking time.
+        """
+        cx, cy = self._layout.width / 2.0, self._layout.height / 2.0
+        dx, dy = cx - seat.x, cy - seat.y
+        norm = float(np.hypot(dx, dy))
+        if norm < 1e-9:
+            return seat
+        step = 0.8
+        return Point(seat.x + step * dx / norm, seat.y + step * dy / norm)
+
+    def _trajectory_for(
+        self, movement, person: Person
+    ) -> Tuple[Trajectory, PresenceState]:
+        door = self._layout.door
+        if movement.kind is EventKind.DEPARTURE:
+            traj = departure_trajectory(
+                person.seat,
+                door,
+                movement.start_time,
+                stand_up_s=1.5,
+                door_open_s=1.5,
+                via=[self._desk_detour(person.seat)],
+            )
+            return traj, PresenceState.ABSENT
+        if movement.kind is EventKind.ENTRY:
+            seat = self._layout.workstation(movement.workstation_id).seat_position
+            traj = entry_trajectory(
+                door,
+                seat,
+                movement.start_time,
+                door_open_s=1.5,
+                sit_down_s=1.5,
+                via=[self._desk_detour(seat)],
+            )
+            return traj, PresenceState.SEATED
+        # Internal move: a short excursion near the seat (reaching a shelf,
+        # turning to a colleague) that perturbs nearby links briefly without
+        # being a departure.  Kept within ~1 m so the resulting variation
+        # window is shorter than typical t_delta values.
+        offset = self._rng.uniform(0.5, 1.0)
+        angle = self._rng.uniform(0.0, 2.0 * np.pi)
+        target = Point(
+            float(
+                np.clip(
+                    person.seat.x + offset * np.cos(angle),
+                    0.3,
+                    self._layout.width - 0.3,
+                )
+            ),
+            float(
+                np.clip(
+                    person.seat.y + offset * np.sin(angle),
+                    0.3,
+                    self._layout.height - 0.3,
+                )
+            ),
+        )
+        traj = walk_through(
+            [person.seat, target, person.seat],
+            movement.start_time,
+            pauses=[0.0, 0.5],
+        )
+        return traj, PresenceState.SEATED
+
+    def _presence_intervals(
+        self, day: DaySchedule
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Per-workstation intervals during which the assigned user is at the desk."""
+        intervals: Dict[str, List[Tuple[float, float]]] = {}
+        for w in self._layout.workstations:
+            user_id = ScheduleGenerator.user_for(w.workstation_id)
+            user_moves = sorted(
+                (m for m in day.movements if m.user_id == user_id),
+                key=lambda m: m.start_time,
+            )
+            present_since: Optional[float] = 0.0
+            user_intervals: List[Tuple[float, float]] = []
+            for m in user_moves:
+                if m.kind is EventKind.DEPARTURE:
+                    if present_since is not None:
+                        user_intervals.append((present_since, m.start_time))
+                        present_since = None
+                elif m.kind is EventKind.ENTRY:
+                    seat = self._layout.workstation(m.workstation_id).seat_position
+                    traj = entry_trajectory(self._layout.door, seat, m.start_time)
+                    if present_since is None:
+                        present_since = traj.end_time
+                elif m.kind is EventKind.INTERNAL_MOVE:
+                    if present_since is not None:
+                        traj, _ = self._trajectory_for(
+                            m,
+                            Person(
+                                user_id=user_id,
+                                workstation_id=w.workstation_id,
+                                seat=w.seat_position,
+                            ),
+                        )
+                        user_intervals.append((present_since, m.start_time))
+                        present_since = traj.end_time
+            if present_since is not None:
+                user_intervals.append((present_since, day.duration_s))
+            intervals[w.workstation_id] = user_intervals
+        return intervals
+
+    # ------------------------------------------------------------------ #
+    def collect_day(self, day: DaySchedule) -> DayRecording:
+        """Execute one day's schedule and record everything."""
+        clock = self._clock
+        times = clock.timestamps(day.duration_s)
+        n_steps = times.shape[0]
+        if n_steps == 0:
+            raise ValueError("day duration too short for the sampling rate")
+
+        channel = RadioChannel(
+            self._links,
+            config=self._channel_config,
+            rng=self._rng,
+            sample_interval_s=clock.dt,
+        )
+        people = self._make_people()
+        events = EventLog()
+
+        # Pre-sort movements and build their trajectories lazily at start time.
+        pending = sorted(day.movements, key=lambda m: m.start_time)
+        pending_idx = 0
+
+        n_streams = len(self._links)
+        rssi = np.empty((n_steps, n_streams))
+        # Previous positions, used to derive instantaneous body speeds (the
+        # channel's motion-induced fluctuation scales with speed).
+        prev_positions: Dict[str, Optional[Point]] = {}
+
+        for step in range(n_steps):
+            t = float(times[step])
+            # Start any movement whose time has come.
+            while pending_idx < len(pending) and pending[pending_idx].start_time <= t:
+                movement = pending[pending_idx]
+                pending_idx += 1
+                person = people.get(movement.user_id)
+                if person is None:
+                    # A visitor: create a transient person entering the office.
+                    person = Person(
+                        user_id=movement.user_id,
+                        workstation_id=None,
+                        seat=self._layout.door,
+                        initial_state=PresenceState.ABSENT,
+                    )
+                    people[movement.user_id] = person
+                traj, ends_as = self._trajectory_for(movement, person)
+                person.start_walk(traj, ends_as)
+                if movement.kind is EventKind.DEPARTURE:
+                    events.add(
+                        GroundTruthEvent(
+                            kind=EventKind.DEPARTURE,
+                            time=movement.start_time,
+                            user_id=movement.user_id,
+                            workstation_id=movement.workstation_id,
+                            exit_time=traj.end_time,
+                        )
+                    )
+                elif movement.kind is EventKind.ENTRY:
+                    events.add(
+                        GroundTruthEvent(
+                            kind=EventKind.ENTRY,
+                            time=movement.start_time,
+                            user_id=movement.user_id,
+                            workstation_id=movement.workstation_id,
+                        )
+                    )
+                else:
+                    events.add(
+                        GroundTruthEvent(
+                            kind=EventKind.INTERNAL_MOVE,
+                            time=movement.start_time,
+                            user_id=movement.user_id,
+                            workstation_id=movement.workstation_id,
+                        )
+                    )
+
+            bodies = []
+            speeds = []
+            for person in people.values():
+                person.update(t)
+                pos = person.position_at(t, self._rng)
+                prev = prev_positions.get(person.user_id)
+                prev_positions[person.user_id] = pos
+                if pos is None:
+                    continue
+                bodies.append(pos)
+                if prev is None:
+                    speed = 0.0
+                else:
+                    speed = pos.distance_to(prev) / clock.dt
+                if person.state is PresenceState.WALKING:
+                    # Standing up, turning and opening the door are part of a
+                    # walk's "pause" legs: the body is still in motion even
+                    # though its centre barely translates.
+                    speed = max(speed, 0.6)
+                speeds.append(speed)
+            rssi[step] = channel.sample_vector(bodies, speeds)
+
+        streams = {
+            sid: rssi[:, i] for i, sid in enumerate(self._links.stream_ids)
+        }
+        trace = RssiTrace(times=times, streams=streams)
+
+        presence = self._presence_intervals(day)
+        activity = {
+            wid: self._activity_model.generate(
+                day.duration_s, presence[wid], start_time=clock.start_time
+            )
+            for wid in self._layout.workstation_ids
+        }
+        return DayRecording(
+            day_index=day.day_index,
+            duration_s=day.duration_s,
+            trace=trace,
+            events=events,
+            activity=activity,
+        )
+
+    def collect(self, schedule: CampaignSchedule) -> CampaignRecording:
+        """Execute every day of a campaign schedule."""
+        days = [self.collect_day(day) for day in schedule.days]
+        return CampaignRecording(days=days, layout=self._layout)
+
+    def collect_generated(
+        self,
+        n_days: int = 5,
+        day_duration_s: float = 8 * 3600.0,
+        profiles: Optional[Dict[str, BehaviorProfile]] = None,
+    ) -> CampaignRecording:
+        """Draw a schedule and collect it in one call."""
+        generator = ScheduleGenerator(self._layout, profiles, rng=self._rng)
+        schedule = generator.generate_campaign(n_days, day_duration_s)
+        return self.collect(schedule)

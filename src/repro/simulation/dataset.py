@@ -1,0 +1,154 @@
+"""Labelled sample datasets for the RE classifier.
+
+The Radio Environment classifier is trained on *samples*: one feature vector
+per detected variation window, labelled either automatically (via the KMA
+idle-time correlation, paper Section IV-D3) or with the ground truth during
+offline evaluation.  This module provides the dataset containers shared by
+the training phase, the cross-validation evaluation and the feature
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["LabeledSample", "SampleDataset"]
+
+
+@dataclass(frozen=True)
+class LabeledSample:
+    """One labelled RE sample.
+
+    Attributes
+    ----------
+    features:
+        The feature vector (3 features per stream, in stream order).
+    label:
+        Event label: ``"w0"`` for office entries, ``"wi"`` for departures
+        from workstation ``wi``.
+    time:
+        Start time of the variation window the sample was extracted from.
+    day_index:
+        The campaign day the sample belongs to (useful for leave-one-day-out
+        analyses).
+    """
+
+    features: np.ndarray
+    label: str
+    time: float
+    day_index: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "features", np.asarray(self.features, dtype=float).ravel()
+        )
+        if self.features.size == 0:
+            raise ValueError("a sample needs at least one feature")
+        if not self.label:
+            raise ValueError("a sample needs a non-empty label")
+
+
+@dataclass
+class SampleDataset:
+    """A collection of labelled samples with matrix conversion helpers."""
+
+    feature_names: Tuple[str, ...]
+    samples: List[LabeledSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.feature_names) == 0:
+            raise ValueError("feature_names must not be empty")
+        for s in self.samples:
+            self._check_sample(s)
+
+    def _check_sample(self, sample: LabeledSample) -> None:
+        if sample.features.shape[0] != len(self.feature_names):
+            raise ValueError(
+                f"sample has {sample.features.shape[0]} features, "
+                f"dataset expects {len(self.feature_names)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def add(self, sample: LabeledSample) -> None:
+        """Append one sample (validating its dimensionality)."""
+        self._check_sample(sample)
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_names)
+
+    @property
+    def labels(self) -> List[str]:
+        return [s.label for s in self.samples]
+
+    def label_counts(self) -> Dict[str, int]:
+        """Histogram of labels (the shape of the paper's Table II)."""
+        counts: Dict[str, int] = {}
+        for s in self.samples:
+            counts[s.label] = counts.get(s.label, 0) + 1
+        return counts
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(X, y)``: the sample matrix and the label vector."""
+        if not self.samples:
+            return (
+                np.empty((0, self.n_features)),
+                np.empty((0,), dtype=object),
+            )
+        X = np.vstack([s.features for s in self.samples])
+        y = np.asarray([s.label for s in self.samples], dtype=object)
+        return X, y
+
+    def filter_labels(self, labels: Sequence[str]) -> "SampleDataset":
+        """A new dataset containing only samples with the given labels."""
+        wanted = set(labels)
+        return SampleDataset(
+            feature_names=self.feature_names,
+            samples=[s for s in self.samples if s.label in wanted],
+        )
+
+    def column(self, feature_name: str) -> np.ndarray:
+        """All samples' values of one named feature."""
+        try:
+            idx = self.feature_names.index(feature_name)
+        except ValueError as exc:
+            raise KeyError(f"unknown feature {feature_name!r}") from exc
+        X, _ = self.to_arrays()
+        return X[:, idx]
+
+    def subset_features(self, keep: Sequence[str]) -> "SampleDataset":
+        """A new dataset with only the named feature columns."""
+        indices = []
+        for name in keep:
+            if name not in self.feature_names:
+                raise KeyError(f"unknown feature {name!r}")
+            indices.append(self.feature_names.index(name))
+        new_samples = [
+            LabeledSample(
+                features=s.features[indices],
+                label=s.label,
+                time=s.time,
+                day_index=s.day_index,
+            )
+            for s in self.samples
+        ]
+        return SampleDataset(feature_names=tuple(keep), samples=new_samples)
+
+    def merged_with(self, other: "SampleDataset") -> "SampleDataset":
+        """Concatenate two datasets with identical feature layouts."""
+        if tuple(other.feature_names) != tuple(self.feature_names):
+            raise ValueError("datasets have different feature layouts")
+        return SampleDataset(
+            feature_names=self.feature_names,
+            samples=list(self.samples) + list(other.samples),
+        )

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (a small recorded campaign and its analysis context)
+are session-scoped so the many tests that need realistic data share one
+simulation run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import AnalysisContext
+from repro.core.config import FadewichConfig, MDConfig
+from repro.mobility.behavior import BehaviorProfile
+from repro.radio.office import paper_office
+from repro.simulation.collector import CampaignCollector
+
+
+@pytest.fixture(scope="session")
+def layout():
+    """The paper's 6 m x 3 m office with nine sensors."""
+    return paper_office()
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The paper's default FADEWICH configuration."""
+    return FadewichConfig()
+
+
+@pytest.fixture(scope="session")
+def fast_md_config():
+    """An MD configuration with a short profile-initialisation phase."""
+    return MDConfig(profile_init_s=30.0)
+
+
+@pytest.fixture(scope="session")
+def small_recording(layout):
+    """A single compact simulated day shared by the integration-style tests."""
+    collector = CampaignCollector(layout, seed=1234)
+    profile = BehaviorProfile(
+        departures_per_hour=8.0,
+        mean_absence_s=120.0,
+        min_absence_s=40.0,
+        internal_moves_per_hour=2.0,
+    )
+    profiles = {w.workstation_id: profile for w in layout.workstations}
+    return collector.collect_generated(
+        n_days=2, day_duration_s=1200.0, profiles=profiles
+    )
+
+
+@pytest.fixture(scope="session")
+def analysis_context(small_recording, config):
+    """An analysis context over the shared small recording."""
+    return AnalysisContext(small_recording, config, seed=0)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic random generator per test."""
+    return np.random.default_rng(0)

@@ -1,0 +1,200 @@
+"""Tests for the KDE estimator and the RE window features."""
+
+import numpy as np
+import pytest
+
+from repro.ml.features import (
+    FeatureExtractor,
+    stream_features,
+    window_autocorrelation,
+    window_entropy,
+    window_variance,
+)
+from repro.ml.kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+
+
+class TestGaussianKDE:
+    def test_pdf_integrates_to_one(self, rng):
+        data = rng.normal(10.0, 2.0, size=200)
+        kde = GaussianKDE(data)
+        grid = np.linspace(0.0, 20.0, 2000)
+        integral = np.trapezoid(kde.pdf(grid), grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_cdf_is_monotone(self, rng):
+        kde = GaussianKDE(rng.normal(size=100))
+        grid = np.linspace(-4, 4, 50)
+        cdf = kde.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-12)
+
+    def test_cdf_limits(self, rng):
+        kde = GaussianKDE(rng.normal(size=100))
+        assert kde.cdf(-100.0)[0] == pytest.approx(0.0, abs=1e-6)
+        assert kde.cdf(100.0)[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_percentile_inverts_cdf(self, rng):
+        kde = GaussianKDE(rng.normal(5.0, 1.0, size=300))
+        for q in (10.0, 50.0, 90.0, 99.0):
+            x = kde.percentile(q)
+            assert kde.cdf(x)[0] == pytest.approx(q / 100.0, abs=1e-3)
+
+    def test_percentile_is_monotone_in_q(self, rng):
+        kde = GaussianKDE(rng.normal(size=200))
+        assert kde.percentile(99.0) > kde.percentile(50.0) > kde.percentile(1.0)
+
+    def test_percentile_out_of_range_raises(self, rng):
+        kde = GaussianKDE(rng.normal(size=10))
+        with pytest.raises(ValueError):
+            kde.percentile(101.0)
+
+    def test_empty_data_raises(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([])
+
+    def test_invalid_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0, 2.0], bandwidth=0.0)
+        with pytest.raises(ValueError):
+            GaussianKDE([1.0, 2.0], bandwidth="unknown")
+
+    def test_updated_keeps_size_when_dropping_same_amount(self, rng):
+        kde = GaussianKDE(rng.normal(size=50))
+        updated = kde.updated(rng.normal(size=10), drop_oldest=10)
+        assert updated.n == 50
+
+    def test_updated_shifts_towards_new_data(self, rng):
+        kde = GaussianKDE(rng.normal(0.0, 1.0, size=100))
+        updated = kde.updated(np.full(100, 50.0), drop_oldest=100)
+        assert updated.percentile(50.0) > 40.0
+
+    def test_sample_draws_near_data(self, rng):
+        kde = GaussianKDE(rng.normal(100.0, 1.0, size=200))
+        samples = kde.sample(500, rng)
+        assert abs(np.mean(samples) - 100.0) < 1.0
+
+    def test_bandwidth_rules_positive(self, rng):
+        data = rng.normal(size=100)
+        assert scott_bandwidth(data) > 0
+        assert silverman_bandwidth(data) > 0
+
+    def test_bandwidth_rules_handle_constant_data(self):
+        assert scott_bandwidth(np.ones(10)) == 1.0
+        assert silverman_bandwidth(np.ones(10)) == 1.0
+
+
+class TestWindowFeatures:
+    def test_variance_of_constant_window_is_zero(self):
+        assert window_variance([5.0] * 10) == pytest.approx(0.0)
+
+    def test_variance_matches_numpy(self, rng):
+        window = rng.normal(size=64)
+        assert window_variance(window) == pytest.approx(float(np.var(window)))
+
+    def test_entropy_of_constant_window_is_zero(self):
+        assert window_entropy([3.0] * 20) == pytest.approx(0.0)
+
+    def test_entropy_increases_with_spread(self, rng):
+        narrow = rng.normal(0.0, 0.001, size=200)
+        uniform = rng.uniform(-10, 10, size=200)
+        assert window_entropy(uniform, bins=16) > window_entropy(narrow, bins=2)
+
+    def test_entropy_bounded_by_log_bins(self, rng):
+        window = rng.uniform(size=1000)
+        assert window_entropy(window, bins=8) <= np.log(8) + 1e-9
+
+    def test_autocorrelation_of_constant_window_is_one(self):
+        assert window_autocorrelation([2.0] * 10) == pytest.approx(1.0)
+
+    def test_autocorrelation_of_alternating_signal_is_negative(self):
+        window = [1.0, -1.0] * 20
+        assert window_autocorrelation(window, lag=1) < -0.9
+
+    def test_autocorrelation_lag_beyond_window_is_zero(self):
+        assert window_autocorrelation([1.0, 2.0, 3.0], lag=10) == 0.0
+
+    def test_autocorrelation_of_smooth_signal_is_positive(self):
+        window = np.sin(np.linspace(0, np.pi, 50))
+        assert window_autocorrelation(window, lag=1) > 0.8
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            window_variance([])
+        with pytest.raises(ValueError):
+            window_entropy([])
+        with pytest.raises(ValueError):
+            window_autocorrelation([])
+
+    def test_stream_features_returns_triplet(self, rng):
+        var, ent, ac = stream_features(rng.normal(size=30))
+        assert var >= 0
+        assert ent >= 0
+        assert -1.0 - 1e-9 <= ac <= 1.0 + 1e-9
+
+
+class TestFeatureExtractor:
+    def test_feature_vector_layout(self, rng):
+        extractor = FeatureExtractor(stream_ids=("d1-d2", "d2-d1"))
+        windows = {"d1-d2": rng.normal(size=20), "d2-d1": rng.normal(size=20)}
+        vec = extractor.extract(windows)
+        assert vec.shape == (6,)
+        assert extractor.n_features == 6
+
+    def test_feature_names_follow_paper_convention(self):
+        extractor = FeatureExtractor(stream_ids=("d1-d2",))
+        assert extractor.feature_names() == ["d1-d2-var", "d1-d2-ent", "d1-d2-ac"]
+
+    def test_missing_stream_raises(self, rng):
+        extractor = FeatureExtractor(stream_ids=("d1-d2", "d2-d1"))
+        with pytest.raises(KeyError):
+            extractor.extract({"d1-d2": rng.normal(size=10)})
+
+    def test_duplicate_stream_ids_raise(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(stream_ids=("d1-d2", "d1-d2"))
+
+    def test_empty_stream_ids_raise(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(stream_ids=())
+
+    def test_extract_many_stacks_samples(self, rng):
+        extractor = FeatureExtractor(stream_ids=("a-b",))
+        samples = [{"a-b": rng.normal(size=10)} for _ in range(4)]
+        X = extractor.extract_many(samples)
+        assert X.shape == (4, 3)
+
+    def test_extract_many_empty_returns_empty_matrix(self):
+        extractor = FeatureExtractor(stream_ids=("a-b",))
+        assert extractor.extract_many([]).shape == (0, 3)
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, size=(100, 4))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_feature_no_nan(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+
+    def test_standard_scaler_inverse_transform_roundtrip(self, rng):
+        X = rng.normal(size=(20, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_standard_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_minmax_scaler_maps_to_unit_interval(self, rng):
+        X = rng.normal(size=(50, 3)) * 10
+        Xs = MinMaxScaler().fit_transform(X)
+        assert Xs.min() >= -1e-12
+        assert Xs.max() <= 1.0 + 1e-12
+
+    def test_minmax_scaler_empty_raises(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit(np.empty((0, 2)))

@@ -1,0 +1,187 @@
+"""Tests for the SVM substrate: kernels, the SMO solver and one-vs-one."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernels import (
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    make_kernel,
+)
+from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.svm import BinarySVC, SVMNotFittedError
+
+
+class TestKernels:
+    def test_linear_kernel_matches_dot_product(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        Y = np.array([[0.5, 0.5]])
+        K = LinearKernel()(X, Y)
+        assert K.shape == (2, 1)
+        assert K[0, 0] == pytest.approx(1.5)
+        assert K[1, 0] == pytest.approx(3.5)
+
+    def test_rbf_kernel_is_one_on_diagonal(self):
+        X = np.random.default_rng(0).normal(size=(5, 3))
+        K = RBFKernel(gamma=0.7)(X, X)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_kernel_decreases_with_distance(self):
+        k = RBFKernel(gamma=1.0)
+        near = k(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = k(np.array([[0.0]]), np.array([[2.0]]))[0, 0]
+        assert near > far
+
+    def test_rbf_kernel_values_in_unit_interval(self):
+        X = np.random.default_rng(1).normal(size=(10, 4))
+        K = RBFKernel(gamma=0.3)(X, X)
+        assert np.all(K <= 1.0 + 1e-12)
+        assert np.all(K >= 0.0)
+
+    def test_polynomial_kernel_degree_one_is_affine_dot(self):
+        k = PolynomialKernel(degree=1, gamma=1.0, coef0=2.0)
+        K = k(np.array([[1.0, 1.0]]), np.array([[2.0, 3.0]]))
+        assert K[0, 0] == pytest.approx(7.0)
+
+    def test_kernel_gram_is_symmetric(self):
+        X = np.random.default_rng(2).normal(size=(6, 3))
+        for kernel in (LinearKernel(), RBFKernel(gamma=0.5), PolynomialKernel()):
+            K = kernel(X, X)
+            assert np.allclose(K, K.T)
+
+    def test_kernel_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LinearKernel()(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_make_kernel_by_name(self):
+        assert isinstance(make_kernel("linear"), LinearKernel)
+        assert isinstance(make_kernel("rbf", gamma=2.0), RBFKernel)
+        assert isinstance(make_kernel("poly", degree=2), PolynomialKernel)
+
+    def test_make_kernel_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_kernel("sigmoid")
+
+    def test_kernel_diagonal_consistency(self):
+        X = np.random.default_rng(3).normal(size=(4, 2))
+        for kernel in (LinearKernel(), RBFKernel(gamma=0.5), PolynomialKernel()):
+            full = np.diag(kernel(X, X))
+            assert np.allclose(kernel.diagonal(X), full)
+
+
+class TestBinarySVC:
+    def _separable(self, rng):
+        X = np.vstack(
+            [rng.normal(-2.0, 0.4, size=(25, 2)), rng.normal(2.0, 0.4, size=(25, 2))]
+        )
+        y = np.array([0] * 25 + [1] * 25)
+        return X, y
+
+    def test_fits_linearly_separable_data(self, rng):
+        X, y = self._separable(rng)
+        clf = BinarySVC(C=1.0, kernel="linear").fit(X, y)
+        assert clf.score(X, y) == pytest.approx(1.0)
+
+    def test_rbf_fits_xor_pattern(self, rng):
+        X = np.vstack(
+            [
+                rng.normal([0, 0], 0.2, size=(20, 2)),
+                rng.normal([3, 3], 0.2, size=(20, 2)),
+                rng.normal([0, 3], 0.2, size=(20, 2)),
+                rng.normal([3, 0], 0.2, size=(20, 2)),
+            ]
+        )
+        y = np.array([0] * 40 + [1] * 40)
+        clf = BinarySVC(C=10.0, kernel="rbf", gamma=1.0).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(SVMNotFittedError):
+            BinarySVC().predict(np.zeros((1, 2)))
+
+    def test_decision_function_sign_matches_prediction(self, rng):
+        X, y = self._separable(rng)
+        clf = BinarySVC(C=1.0, kernel="linear").fit(X, y)
+        scores = clf.decision_function(X)
+        preds = clf.predict(X)
+        assert np.all((scores >= 0) == (preds == clf.classes_[1]))
+
+    def test_string_labels_are_preserved(self, rng):
+        X, _ = self._separable(rng)
+        y = np.array(["a"] * 25 + ["b"] * 25)
+        clf = BinarySVC(kernel="linear").fit(X, y)
+        assert set(clf.predict(X)) <= {"a", "b"}
+
+    def test_single_class_training_predicts_that_class(self):
+        X = np.zeros((5, 2))
+        y = np.array(["only"] * 5)
+        clf = BinarySVC().fit(X, y)
+        assert list(clf.predict(np.ones((3, 2)))) == ["only"] * 3
+
+    def test_more_than_two_classes_raises(self):
+        X = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            BinarySVC().fit(X, np.array([0, 1, 2]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            BinarySVC().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_support_vectors_are_subset_of_training_data(self, rng):
+        X, y = self._separable(rng)
+        clf = BinarySVC(C=1.0, kernel="linear").fit(X, y)
+        assert clf.support_vectors_.shape[0] <= X.shape[0]
+        assert clf.support_vectors_.shape[1] == X.shape[1]
+
+    def test_gamma_scale_heuristic_used_when_none(self, rng):
+        X, y = self._separable(rng)
+        clf = BinarySVC(kernel="rbf", gamma=None).fit(X, y)
+        assert clf._kernel_obj.gamma > 0
+
+
+class TestOneVsOneSVC:
+    def _blobs(self, rng, centers=(0.0, 4.0, 8.0), n=20):
+        X = np.vstack([rng.normal(c, 0.3, size=(n, 2)) for c in centers])
+        y = np.repeat(np.arange(len(centers)), n)
+        return X, y
+
+    def test_three_class_blobs_are_learned(self, rng):
+        X, y = self._blobs(rng)
+        clf = OneVsOneSVC(C=10.0, kernel="rbf").fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_number_of_pairwise_estimators(self, rng):
+        X, y = self._blobs(rng, centers=(0.0, 3.0, 6.0, 9.0))
+        clf = OneVsOneSVC(kernel="linear").fit(X, y)
+        assert len(clf.estimators_) == 6  # 4 choose 2
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(SVMNotFittedError):
+            OneVsOneSVC().predict(np.zeros((1, 2)))
+
+    def test_single_class_dataset(self):
+        X = np.random.default_rng(0).normal(size=(5, 2))
+        y = np.array(["w1"] * 5)
+        clf = OneVsOneSVC().fit(X, y)
+        assert list(clf.predict(X)) == ["w1"] * 5
+
+    def test_empty_training_set_raises(self):
+        with pytest.raises(ValueError):
+            OneVsOneSVC().fit(np.empty((0, 2)), np.empty((0,)))
+
+    def test_string_labels(self, rng):
+        X, y_int = self._blobs(rng)
+        labels = np.array(["w0", "w1", "w2"])[y_int]
+        clf = OneVsOneSVC(kernel="linear").fit(X, labels)
+        assert set(clf.predict(X)) <= {"w0", "w1", "w2"}
+        assert clf.score(X, labels) > 0.95
+
+    def test_generalises_to_held_out_points(self, rng):
+        X, y = self._blobs(rng, n=30)
+        clf = OneVsOneSVC(C=10.0, kernel="rbf").fit(X[::2], y[::2])
+        assert clf.score(X[1::2], y[1::2]) > 0.9
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            OneVsOneSVC().fit(np.zeros((3, 2)), np.array([0, 1]))

@@ -1,0 +1,260 @@
+"""Tests for metrics, cross-validation, mutual information and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.ml.correlation import correlation_matrix, most_correlated_pairs
+from repro.ml.metrics import (
+    DetectionCounts,
+    accuracy,
+    confusion_matrix,
+    f_measure,
+    precision,
+    recall,
+)
+from repro.ml.multiclass import OneVsOneSVC
+from repro.ml.mutual_info import (
+    conditional_entropy,
+    marginal_entropy,
+    quantize,
+    rank_features_by_rmi,
+    relative_mutual_information,
+    stream_importance,
+)
+from repro.ml.validation import (
+    cross_val_scores,
+    kfold_indices,
+    learning_curve,
+    stratified_kfold_indices,
+    train_test_split,
+)
+
+
+class TestDetectionCounts:
+    def test_precision_recall_fmeasure(self):
+        counts = DetectionCounts(tp=8, fp=2, fn=2)
+        assert counts.precision == pytest.approx(0.8)
+        assert counts.recall == pytest.approx(0.8)
+        assert counts.f_measure == pytest.approx(0.8)
+
+    def test_zero_positives_give_zero_metrics(self):
+        counts = DetectionCounts(tp=0, fp=0, fn=5)
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f_measure == 0.0
+
+    def test_rates_sum_to_one(self):
+        counts = DetectionCounts(tp=3, fp=1, fn=6)
+        rates = counts.rates()
+        assert sum(rates.values()) == pytest.approx(1.0)
+
+    def test_addition_aggregates_counts(self):
+        total = DetectionCounts(1, 2, 3) + DetectionCounts(4, 5, 6)
+        assert (total.tp, total.fp, total.fn) == (5, 7, 9)
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            DetectionCounts(-1, 0, 0)
+
+    def test_convenience_functions(self):
+        assert precision(4, 1) == pytest.approx(0.8)
+        assert recall(4, 1) == pytest.approx(0.8)
+        assert f_measure(4, 1, 1) == pytest.approx(0.8)
+
+
+class TestAccuracyConfusion:
+    def test_accuracy_perfect_and_zero(self):
+        assert accuracy([1, 2, 3], [1, 2, 3]) == 1.0
+        assert accuracy([1, 2, 3], [3, 1, 2]) == 0.0
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([], [])
+
+    def test_accuracy_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1], [1, 2])
+
+    def test_confusion_matrix_diagonal(self):
+        mat = confusion_matrix(["a", "b", "a"], ["a", "b", "a"])
+        assert np.array_equal(mat, np.array([[2, 0], [0, 1]]))
+
+    def test_confusion_matrix_off_diagonal(self):
+        mat = confusion_matrix(["a", "a", "b"], ["b", "a", "b"], labels=["a", "b"])
+        assert mat[0, 1] == 1
+        assert mat[0, 0] == 1
+        assert mat[1, 1] == 1
+
+    def test_confusion_matrix_total_equals_samples(self):
+        y_true = ["x", "y", "z", "x", "y"]
+        y_pred = ["x", "z", "z", "y", "y"]
+        assert confusion_matrix(y_true, y_pred).sum() == 5
+
+
+class TestCrossValidation:
+    def test_kfold_covers_all_samples_exactly_once(self, rng):
+        seen = []
+        for _, test_idx in kfold_indices(20, 5, rng):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(20))
+
+    def test_kfold_train_test_disjoint(self, rng):
+        for train_idx, test_idx in kfold_indices(15, 3, rng):
+            assert set(train_idx).isdisjoint(set(test_idx))
+
+    def test_kfold_invalid_folds_raise(self, rng):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1, rng))
+        with pytest.raises(ValueError):
+            list(kfold_indices(3, 5, rng))
+
+    def test_stratified_kfold_preserves_class_presence(self, rng):
+        y = np.array([0] * 10 + [1] * 10)
+        for train_idx, _ in stratified_kfold_indices(y, 5, rng):
+            assert set(y[train_idx]) == {0, 1}
+
+    def test_stratified_kfold_covers_all_samples(self, rng):
+        y = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 2])
+        seen = []
+        for _, test_idx in stratified_kfold_indices(y, 3, rng):
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_train_test_split_sizes(self, rng):
+        train, test = train_test_split(50, test_fraction=0.2, rng=rng)
+        assert len(test) == 10
+        assert len(train) == 40
+        assert set(train).isdisjoint(set(test))
+
+    def test_train_test_split_invalid_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(10, test_fraction=1.5, rng=rng)
+
+    def test_cross_val_scores_on_separable_data(self, rng):
+        X = np.vstack([rng.normal(-3, 0.3, (20, 2)), rng.normal(3, 0.3, (20, 2))])
+        y = np.array([0] * 20 + [1] * 20)
+        scores = cross_val_scores(
+            lambda: OneVsOneSVC(kernel="linear"), X, y, n_folds=4, rng=rng
+        )
+        assert scores.shape == (4,)
+        assert scores.mean() > 0.9
+
+    def test_learning_curve_improves_with_more_data(self, rng):
+        X = np.vstack([rng.normal(-2, 1.0, (60, 2)), rng.normal(2, 1.0, (60, 2))])
+        y = np.array([0] * 60 + [1] * 60)
+        result = learning_curve(
+            lambda: OneVsOneSVC(kernel="linear"),
+            X,
+            y,
+            train_sizes=[4, 60],
+            n_folds=4,
+            n_repeats=3,
+            rng=rng,
+        )
+        assert result.mean_accuracy[-1] >= result.mean_accuracy[0] - 0.05
+        assert np.all(result.ci95 >= 0)
+
+    def test_learning_curve_requires_positive_sizes(self, rng):
+        with pytest.raises(ValueError):
+            learning_curve(
+                lambda: OneVsOneSVC(), np.zeros((4, 1)), [0, 1, 0, 1], train_sizes=[]
+            )
+
+
+class TestMutualInformation:
+    def test_quantize_range(self, rng):
+        q = quantize(rng.normal(size=100), bins=16)
+        assert q.min() >= 0
+        assert q.max() <= 15
+
+    def test_quantize_constant_feature(self):
+        q = quantize(np.ones(10), bins=256)
+        assert np.all(q == 0)
+
+    def test_marginal_entropy_nonnegative(self, rng):
+        assert marginal_entropy(rng.normal(size=200)) >= 0
+
+    def test_conditional_entropy_not_above_marginal(self, rng):
+        x = rng.normal(size=200)
+        y = (x > 0).astype(int)
+        assert conditional_entropy(x, y) <= marginal_entropy(x) + 1e-9
+
+    def test_rmi_informative_feature_beats_noise(self, rng):
+        y = np.repeat([0, 1], 100)
+        informative = y * 10.0 + rng.normal(0, 0.1, 200)
+        noise = rng.normal(size=200)
+        assert relative_mutual_information(informative, y) > relative_mutual_information(
+            noise, y
+        )
+
+    def test_rmi_in_unit_interval(self, rng):
+        y = np.repeat([0, 1], 50)
+        x = rng.normal(size=100)
+        assert 0.0 <= relative_mutual_information(x, y) <= 1.0
+
+    def test_rmi_constant_feature_is_zero(self):
+        y = np.repeat([0, 1], 5)
+        assert relative_mutual_information(np.ones(10), y) == 0.0
+
+    def test_rank_features_by_rmi_orders_descending(self, rng):
+        y = np.repeat([0, 1], 100)
+        X = np.column_stack([rng.normal(size=200), y * 5 + rng.normal(0, 0.1, 200)])
+        ranked = rank_features_by_rmi(X, y, ["noise", "signal"])
+        assert ranked[0].name == "signal"
+        assert ranked[0].rmi >= ranked[1].rmi
+
+    def test_rank_features_drops_highly_correlated(self, rng):
+        y = np.repeat([0, 1], 100)
+        signal = y * 5.0 + rng.normal(0, 0.1, 200)
+        X = np.column_stack([signal, signal * 1.0001, rng.normal(size=200)])
+        ranked = rank_features_by_rmi(
+            X, y, ["s1", "s2", "noise"], drop_correlated_above=0.99
+        )
+        names = [fi.name for fi in ranked]
+        assert not ("s1" in names and "s2" in names)
+
+    def test_stream_importance_aggregates_by_stream(self):
+        from repro.ml.mutual_info import FeatureImportance
+
+        ranked = [
+            FeatureImportance("d1-d2-var", 0.5),
+            FeatureImportance("d1-d2-ent", 0.3),
+            FeatureImportance("d2-d3-ac", 0.2),
+        ]
+        scores = stream_importance(ranked)
+        assert scores[("d1", "d2")] == pytest.approx(0.5)
+        assert scores[("d2", "d3")] == pytest.approx(0.2)
+
+
+class TestCorrelation:
+    def test_correlation_matrix_diagonal_is_one(self, rng):
+        X = rng.normal(size=(30, 4))
+        result = correlation_matrix(X, ["a", "b", "c", "d"])
+        assert np.allclose(np.diag(result.matrix), 1.0)
+
+    def test_perfectly_correlated_columns(self, rng):
+        x = rng.normal(size=50)
+        result = correlation_matrix(np.column_stack([x, 2 * x]), ["a", "b"])
+        assert result.value("a", "b") == pytest.approx(1.0)
+
+    def test_anticorrelated_columns(self, rng):
+        x = rng.normal(size=50)
+        result = correlation_matrix(np.column_stack([x, -x]), ["a", "b"])
+        assert result.value("a", "b") == pytest.approx(-1.0)
+
+    def test_constant_column_yields_zero_offdiagonal(self, rng):
+        X = np.column_stack([np.ones(20), rng.normal(size=20)])
+        result = correlation_matrix(X, ["const", "x"])
+        assert result.value("const", "x") == pytest.approx(0.0)
+
+    def test_names_length_mismatch_raises(self, rng):
+        with pytest.raises(ValueError):
+            correlation_matrix(rng.normal(size=(10, 3)), ["a", "b"])
+
+    def test_most_correlated_pairs_sorted(self, rng):
+        x = rng.normal(size=100)
+        X = np.column_stack([x, x + rng.normal(0, 0.01, 100), rng.normal(size=100)])
+        result = correlation_matrix(X, ["a", "b", "c"])
+        pairs = most_correlated_pairs(result, top_k=3)
+        assert pairs[0][:2] == ("a", "b")
+        assert abs(pairs[0][2]) >= abs(pairs[-1][2])

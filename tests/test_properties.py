@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.windows import VariationWindow, match_windows, true_window_for_event
+from repro.ml.features import window_autocorrelation, window_entropy, window_variance
+from repro.ml.kde import GaussianKDE
+from repro.ml.metrics import DetectionCounts
+from repro.ml.mutual_info import quantize, relative_mutual_information
+from repro.mobility.events import EventKind, GroundTruthEvent
+from repro.mobility.trajectory import walk_through
+from repro.radio.geometry import Point, excess_path_length, point_segment_distance
+from repro.workstation.activity import InputActivityModel
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+small_floats = st.floats(
+    min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestGeometryProperties:
+    @given(
+        px=finite_floats, py=finite_floats,
+        ax=finite_floats, ay=finite_floats,
+        bx=finite_floats, by=finite_floats,
+    )
+    def test_excess_path_length_nonnegative(self, px, py, ax, ay, bx, by):
+        value = excess_path_length(Point(px, py), Point(ax, ay), Point(bx, by))
+        assert value >= -1e-9
+
+    @given(
+        px=finite_floats, py=finite_floats,
+        ax=finite_floats, ay=finite_floats,
+        bx=finite_floats, by=finite_floats,
+    )
+    def test_point_segment_distance_bounded_by_endpoint_distances(
+        self, px, py, ax, ay, bx, by
+    ):
+        p, a, b = Point(px, py), Point(ax, ay), Point(bx, by)
+        dist = point_segment_distance(p, a, b)
+        assert dist <= p.distance_to(a) + 1e-9
+        assert dist <= p.distance_to(b) + 1e-9
+        assert dist >= -1e-12
+
+    @given(
+        waypoints=st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=6
+        ),
+        speed=st.floats(min_value=0.3, max_value=3.0),
+        t=st.floats(min_value=-10.0, max_value=500.0),
+    )
+    def test_trajectory_position_stays_within_bounding_box(self, waypoints, speed, t):
+        points = [Point(x, y) for x, y in waypoints]
+        traj = walk_through(points, start_time=0.0, speed_mps=speed)
+        pos = traj.position_at(t)
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        assert min(xs) - 1e-6 <= pos.x <= max(xs) + 1e-6
+        assert min(ys) - 1e-6 <= pos.y <= max(ys) + 1e-6
+
+
+class TestFeatureProperties:
+    @given(values=st.lists(finite_floats, min_size=1, max_size=100))
+    def test_variance_nonnegative(self, values):
+        assert window_variance(values) >= 0.0
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=100),
+           bins=st.integers(min_value=1, max_value=64))
+    def test_entropy_bounds(self, values, bins):
+        entropy = window_entropy(values, bins=bins)
+        assert -1e-9 <= entropy <= np.log(bins) + 1e-9
+
+    @given(values=st.lists(finite_floats, min_size=2, max_size=100),
+           lag=st.integers(min_value=0, max_value=10))
+    def test_autocorrelation_bounded(self, values, lag):
+        # The paper's estimator divides by (n - k) while the variance uses n,
+        # so at large lags its magnitude can exceed 1 but never n / (n - k).
+        ac = window_autocorrelation(values, lag=lag)
+        n = len(values)
+        bound = n / max(n - lag, 1) + 1e-6
+        assert -bound <= ac <= bound
+
+    @given(values=st.lists(finite_floats, min_size=1, max_size=200),
+           bins=st.integers(min_value=1, max_value=256))
+    def test_quantize_within_bins(self, values, bins):
+        q = quantize(np.asarray(values), bins=bins)
+        assert q.min() >= 0
+        assert q.max() < bins
+
+    @given(
+        values=st.lists(finite_floats, min_size=4, max_size=100),
+    )
+    def test_rmi_in_unit_interval(self, values):
+        x = np.asarray(values)
+        y = (np.arange(x.shape[0]) % 2).astype(int)
+        rmi = relative_mutual_information(x, y)
+        assert 0.0 <= rmi <= 1.0
+
+
+class TestKDEProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(small_floats, min_size=2, max_size=80),
+        q=st.floats(min_value=1.0, max_value=99.0),
+    )
+    def test_percentile_within_reasonable_range(self, data, q):
+        kde = GaussianKDE(data)
+        value = kde.percentile(q)
+        spread = max(data) - min(data) + 10.0 * kde.bandwidth
+        assert min(data) - spread <= value <= max(data) + spread
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.lists(small_floats, min_size=2, max_size=80))
+    def test_cdf_monotone(self, data):
+        kde = GaussianKDE(data)
+        grid = np.linspace(min(data) - 1.0, max(data) + 1.0, 30)
+        cdf = kde.cdf(grid)
+        assert np.all(np.diff(cdf) >= -1e-9)
+
+
+class TestDetectionCountProperties:
+    @given(tp=st.integers(0, 500), fp=st.integers(0, 500), fn=st.integers(0, 500))
+    def test_metrics_in_unit_interval(self, tp, fp, fn):
+        counts = DetectionCounts(tp, fp, fn)
+        assert 0.0 <= counts.precision <= 1.0
+        assert 0.0 <= counts.recall <= 1.0
+        assert 0.0 <= counts.f_measure <= 1.0
+        rates = counts.rates()
+        assert 0.0 <= sum(rates.values()) <= 1.0 + 1e-9
+
+    @given(
+        tp1=st.integers(0, 100), fp1=st.integers(0, 100), fn1=st.integers(0, 100),
+        tp2=st.integers(0, 100), fp2=st.integers(0, 100), fn2=st.integers(0, 100),
+    )
+    def test_addition_is_componentwise(self, tp1, fp1, fn1, tp2, fp2, fn2):
+        total = DetectionCounts(tp1, fp1, fn1) + DetectionCounts(tp2, fp2, fn2)
+        assert total.tp == tp1 + tp2
+        assert total.fp == fp1 + fp2
+        assert total.fn == fn1 + fn2
+
+
+class TestWindowMatchingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        event_times=st.lists(
+            st.floats(min_value=10.0, max_value=1000.0), min_size=0, max_size=8
+        ),
+        window_specs=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=1000.0),
+                st.floats(min_value=0.0, max_value=30.0),
+            ),
+            min_size=0,
+            max_size=8,
+        ),
+    )
+    def test_counts_are_consistent_with_inputs(self, event_times, window_specs):
+        events = [
+            GroundTruthEvent(EventKind.DEPARTURE, t, "u1", "w1", exit_time=t + 5.0)
+            for t in event_times
+        ]
+        windows = [VariationWindow(s, s + d) for s, d in window_specs]
+        result = match_windows(windows, events, slack_s=5.0)
+        counts = result.counts
+        assert counts.tp + counts.fn == len(events)
+        assert counts.tp <= len(windows)
+        assert counts.fp <= len(windows)
+        assert len(result.true_positive_pairs) == counts.tp
+        assert len(result.missed_events) == counts.fn
+
+    @settings(max_examples=30, deadline=None)
+    @given(slack=st.floats(min_value=0.5, max_value=30.0),
+           t=st.floats(min_value=50.0, max_value=500.0))
+    def test_true_window_contains_event_time(self, slack, t):
+        event = GroundTruthEvent(EventKind.DEPARTURE, t, "u1", "w1", exit_time=t + 4.0)
+        tw = true_window_for_event(event, slack)
+        assert tw.t_start <= t <= tw.t_end
+
+
+class TestActivityProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        prob=st.floats(min_value=0.0, max_value=1.0),
+        duration=st.floats(min_value=10.0, max_value=2000.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_idle_time_never_negative_and_bounded_by_duration(
+        self, prob, duration, seed
+    ):
+        model = InputActivityModel(
+            activity_prob=prob, rng=np.random.default_rng(seed)
+        )
+        trace = model.generate_always_present(duration)
+        for t in np.linspace(0.0, duration, 13):
+            idle = trace.idle_time_at(float(t))
+            assert 0.0 <= idle <= t + trace.bin_seconds + 1e-9

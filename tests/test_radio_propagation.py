@@ -1,0 +1,311 @@
+"""Tests for path loss, fading, shadowing, links, channel and traces."""
+
+import numpy as np
+import pytest
+
+from repro.radio.channel import ChannelConfig, RadioChannel
+from repro.radio.fading import LinkFadeLevel, QuiescentNoise, SkewLaplace
+from repro.radio.geometry import Point
+from repro.radio.links import LinkSet, enumerate_stream_ids, stream_id
+from repro.radio.office import paper_office
+from repro.radio.pathloss import FreeSpacePathLoss, LogDistancePathLoss
+from repro.radio.shadowing import BodyShadowingModel, ShadowingEffect
+from repro.radio.trace import RssiTrace, StreamBuffer
+
+
+class TestPathLoss:
+    def test_loss_increases_with_distance(self):
+        model = LogDistancePathLoss(exponent=3.0)
+        assert model.loss_db(4.0) > model.loss_db(2.0) > model.loss_db(1.0)
+
+    def test_reference_loss_at_reference_distance(self):
+        model = LogDistancePathLoss(reference_loss_db=40.0, reference_distance=1.0)
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_mean_rssi_decreases_with_distance(self):
+        model = LogDistancePathLoss()
+        assert model.mean_rssi_dbm(1.0) > model.mean_rssi_dbm(5.0)
+
+    def test_higher_exponent_means_more_loss(self):
+        lossy = LogDistancePathLoss(exponent=4.0)
+        mild = LogDistancePathLoss(exponent=2.0)
+        assert lossy.loss_db(5.0) > mild.loss_db(5.0)
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss().loss_db(-1.0)
+
+    def test_invalid_exponent_raises(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(exponent=0.0)
+
+    def test_free_space_matches_friis_at_2_4ghz(self):
+        model = FreeSpacePathLoss(frequency_hz=2.4e9)
+        # Friis at 1 m, 2.4 GHz is almost exactly 40 dB.
+        assert model.loss_db(1.0) == pytest.approx(40.05, abs=0.1)
+
+    def test_free_space_less_lossy_than_indoor_at_distance(self):
+        indoor = LogDistancePathLoss(exponent=3.5)
+        free = FreeSpacePathLoss()
+        assert indoor.loss_db(10.0) > free.loss_db(10.0)
+
+
+class TestFading:
+    def test_skew_laplace_negative_bias(self, rng):
+        dist = SkewLaplace(mode=0.0, lam_neg=0.4, lam_pos=1.2)
+        samples = dist.sample(rng, size=5000)
+        # The attenuation tail is heavier, so the mean is negative.
+        assert samples.mean() < 0
+        assert dist.mean() < 0
+
+    def test_skew_laplace_scalar_sample(self, rng):
+        value = SkewLaplace().sample(rng)
+        assert isinstance(value, float)
+
+    def test_skew_laplace_invalid_rates_raise(self):
+        with pytest.raises(ValueError):
+            SkewLaplace(lam_neg=0.0)
+
+    def test_fade_level_draw_within_range(self, rng):
+        for _ in range(20):
+            fade = LinkFadeLevel.draw(rng, min_sensitivity=0.5, max_sensitivity=1.5)
+            assert 0.5 <= fade.sensitivity <= 1.5
+
+    def test_fade_level_negative_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFadeLevel(sensitivity=-0.1)
+
+    def test_quiescent_noise_scale(self, rng):
+        noise = QuiescentNoise(base_sigma_db=1.0, outlier_prob=0.0)
+        samples = noise.sample(rng, fade_sensitivity=1.0, size=5000)
+        assert np.std(samples) == pytest.approx(1.0, abs=0.1)
+
+    def test_quiescent_noise_sensitivity_scaling(self, rng):
+        noise = QuiescentNoise(base_sigma_db=1.0, outlier_prob=0.0)
+        quiet = np.std(noise.sample(rng, 0.5, size=3000))
+        loud = np.std(noise.sample(rng, 2.0, size=3000))
+        assert loud > quiet
+
+    def test_quiescent_noise_invalid_prob_raises(self):
+        with pytest.raises(ValueError):
+            QuiescentNoise(outlier_prob=1.5)
+
+
+class TestShadowing:
+    def test_body_on_line_of_sight_attenuates_most(self):
+        model = BodyShadowingModel()
+        on_los = model.single_body_effect(Point(1, 0), Point(0, 0), Point(2, 0))
+        off_los = model.single_body_effect(Point(1, 0.5), Point(0, 0), Point(2, 0))
+        assert on_los.attenuation_db > off_los.attenuation_db
+        assert on_los.obstructed
+
+    def test_far_body_has_no_effect(self):
+        model = BodyShadowingModel()
+        effect = model.single_body_effect(Point(1, 5.0), Point(0, 0), Point(2, 0))
+        assert effect == ShadowingEffect.none()
+
+    def test_combined_effect_adds_attenuations(self):
+        model = BodyShadowingModel()
+        one = model.single_body_effect(Point(1, 0), Point(0, 0), Point(2, 0))
+        both = model.combined_effect(
+            [Point(0.7, 0), Point(1.3, 0)], Point(0, 0), Point(2, 0)
+        )
+        assert both.attenuation_db > one.attenuation_db
+
+    def test_fade_sensitivity_scales_attenuation(self):
+        model = BodyShadowingModel()
+        weak = model.single_body_effect(Point(1, 0), Point(0, 0), Point(2, 0), 0.5)
+        strong = model.single_body_effect(Point(1, 0), Point(0, 0), Point(2, 0), 1.5)
+        assert strong.attenuation_db > weak.attenuation_db
+
+    def test_motion_effect_zero_for_static_body(self):
+        model = BodyShadowingModel()
+        assert model.motion_effect(Point(1, 0.5), 0.0, Point(0, 0), Point(2, 0)) == 0.0
+
+    def test_motion_effect_grows_with_speed_until_saturation(self):
+        model = BodyShadowingModel()
+        slow = model.motion_effect(Point(1, 0.5), 0.3, Point(0, 0), Point(2, 0))
+        walk = model.motion_effect(Point(1, 0.5), 1.4, Point(0, 0), Point(2, 0))
+        sprint = model.motion_effect(Point(1, 0.5), 10.0, Point(0, 0), Point(2, 0))
+        assert slow < walk <= sprint
+        assert sprint <= model.motion_sigma_db * 1.5 + 1e-9
+
+    def test_motion_effect_decays_with_distance(self):
+        model = BodyShadowingModel()
+        near = model.motion_effect(Point(1, 0.2), 1.4, Point(0, 0), Point(2, 0))
+        far = model.motion_effect(Point(1, 2.5), 1.4, Point(0, 0), Point(2, 0))
+        assert near > far
+
+    def test_negative_speed_raises(self):
+        with pytest.raises(ValueError):
+            BodyShadowingModel().motion_effect(Point(0, 0), -1.0, Point(0, 0), Point(1, 0))
+
+    def test_sensitive_region_width_grows_with_link_length(self):
+        model = BodyShadowingModel()
+        assert model.sensitive_region_width(6.0) > model.sensitive_region_width(1.0)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            BodyShadowingModel(lambda_m=0.0)
+        with pytest.raises(ValueError):
+            BodyShadowingModel(sigma_reach_multiplier=0.5)
+
+
+class TestLinks:
+    def test_stream_id_format(self):
+        assert stream_id("d1", "d2") == "d1-d2"
+
+    def test_stream_id_same_sensor_raises(self):
+        with pytest.raises(ValueError):
+            stream_id("d1", "d1")
+
+    def test_enumerate_stream_ids_count(self):
+        ids = enumerate_stream_ids(["d1", "d2", "d3"])
+        assert len(ids) == 6
+        assert len(set(ids)) == 6
+
+    def test_linkset_has_m_times_m_minus_one_streams(self, layout, rng):
+        links = LinkSet(layout, rng)
+        assert len(links) == 9 * 8
+
+    def test_linkset_reciprocal_fade_levels(self, layout, rng):
+        links = LinkSet(layout, rng)
+        assert links.get("d1-d2").fade.sensitivity == links.get("d2-d1").fade.sensitivity
+
+    def test_linkset_lookup_unknown_stream_raises(self, layout, rng):
+        links = LinkSet(layout, rng)
+        with pytest.raises(KeyError):
+            links.get("d1-d99")
+
+    def test_linkset_needs_two_sensors(self, layout, rng):
+        single = layout.with_sensors(["d1"])
+        with pytest.raises(ValueError):
+            LinkSet(single, rng)
+
+    def test_stream_length_matches_geometry(self, layout, rng):
+        links = LinkSet(layout, rng)
+        s = links.get("d2-d3")
+        expected = layout.sensor("d2").position.distance_to(layout.sensor("d3").position)
+        assert s.length == pytest.approx(expected)
+
+
+class TestRadioChannel:
+    @pytest.fixture()
+    def channel(self, layout, rng):
+        links = LinkSet(layout, rng)
+        return RadioChannel(links, ChannelConfig(), rng, sample_interval_s=0.25)
+
+    def test_sample_returns_all_streams(self, channel):
+        sample = channel.sample([])
+        assert set(sample.keys()) == set(channel.stream_ids)
+
+    def test_rssi_values_plausible(self, channel):
+        sample = channel.sample([])
+        for value in sample.values():
+            assert -95.0 <= value <= 10.0
+
+    def test_quantization_to_integer_dbm(self, channel):
+        sample = channel.sample([])
+        for value in sample.values():
+            assert value == pytest.approx(round(value))
+
+    def test_moving_body_increases_fluctuation(self, layout):
+        rng = np.random.default_rng(7)
+        links = LinkSet(layout, rng)
+        channel = RadioChannel(links, ChannelConfig(), rng)
+        quiet = np.array([channel.sample_vector([]) for _ in range(80)])
+        path = [Point(0.5 + 0.05 * i, 1.5) for i in range(80)]
+        moving = np.array(
+            [channel.sample_vector([p], [1.4]) for p in path]
+        )
+        assert moving.std(axis=0).sum() > quiet.std(axis=0).sum()
+
+    def test_static_body_changes_mean_not_variance_much(self, layout):
+        rng = np.random.default_rng(8)
+        links = LinkSet(layout, rng)
+        channel = RadioChannel(links, ChannelConfig(), rng)
+        quiet = np.array([channel.sample_vector([]) for _ in range(100)])
+        body = Point(3.0, 1.5)
+        occupied = np.array([channel.sample_vector([body], [0.0]) for _ in range(100)])
+        # The mean RSSI of obstructed links drops...
+        assert occupied.mean() < quiet.mean()
+        # ...but the total fluctuation level stays comparable.
+        assert occupied.std(axis=0).sum() < quiet.std(axis=0).sum() * 1.3
+
+    def test_speeds_length_mismatch_raises(self, channel):
+        with pytest.raises(ValueError):
+            channel.sample_vector([Point(1, 1)], [1.0, 2.0])
+
+    def test_mean_rssi_longer_links_weaker(self, channel, layout):
+        short = channel.mean_rssi("d2-d3")
+        long = channel.mean_rssi("d2-d6")
+        d_short = layout.sensor("d2").position.distance_to(layout.sensor("d3").position)
+        d_long = layout.sensor("d2").position.distance_to(layout.sensor("d6").position)
+        assert d_short < d_long
+        assert short > long
+
+    def test_reset_clears_drift(self, channel):
+        for _ in range(10):
+            channel.sample([])
+        channel.reset()
+        assert channel._drift == 0.0
+
+
+class TestTraces:
+    def test_stream_buffer_window(self):
+        buf = StreamBuffer(["a", "b"], maxlen=4)
+        for i in range(6):
+            buf.append({"a": float(i), "b": float(-i)})
+        assert buf.fill_level() == 4
+        assert list(buf.window("a")) == [2.0, 3.0, 4.0, 5.0]
+        assert list(buf.window("a", 2)) == [4.0, 5.0]
+
+    def test_stream_buffer_missing_stream_raises(self):
+        buf = StreamBuffer(["a"], maxlen=3)
+        with pytest.raises(KeyError):
+            buf.append({"b": 1.0})
+
+    def test_stream_buffer_invalid_args(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(["a"], maxlen=0)
+        with pytest.raises(ValueError):
+            StreamBuffer([], maxlen=3)
+
+    def test_trace_from_samples_roundtrip(self):
+        times = [0.0, 0.25, 0.5]
+        samples = [{"a-b": 1.0, "b-a": 2.0} for _ in times]
+        trace = RssiTrace.from_samples(times, samples)
+        assert trace.n_samples == 3
+        assert trace.stream_ids == ["a-b", "b-a"]
+        assert trace.duration == pytest.approx(0.5)
+
+    def test_trace_slice_time(self):
+        times = np.arange(0, 10, 0.5)
+        trace = RssiTrace(times=times, streams={"s": np.arange(times.shape[0], dtype=float)})
+        sliced = trace.slice_time(2.0, 4.0)
+        assert sliced.times.min() >= 2.0
+        assert sliced.times.max() <= 4.0
+
+    def test_trace_restricted_to_subset(self):
+        times = np.arange(5, dtype=float)
+        trace = RssiTrace(
+            times=times,
+            streams={"a-b": np.zeros(5), "b-a": np.ones(5), "a-c": np.ones(5)},
+        )
+        sub = trace.restricted_to(["a-b", "b-a"])
+        assert sub.stream_ids == ["a-b", "b-a"]
+        with pytest.raises(KeyError):
+            trace.restricted_to(["missing"])
+
+    def test_trace_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            RssiTrace(times=np.arange(3, dtype=float), streams={"s": np.zeros(4)})
+
+    def test_trace_non_monotone_times_raise(self):
+        with pytest.raises(ValueError):
+            RssiTrace(times=np.array([0.0, 1.0, 0.5]), streams={"s": np.zeros(3)})
+
+    def test_trace_sample_interval(self):
+        times = np.arange(0, 2, 0.25)
+        trace = RssiTrace(times=times, streams={"s": np.zeros(times.shape[0])})
+        assert trace.sample_interval == pytest.approx(0.25)
