@@ -36,6 +36,15 @@ def pytest_addoption(parser):
         default=42,
         help="seed of the simulated campaign",
     )
+    parser.addoption(
+        "--engine-day-s",
+        action="store",
+        type=float,
+        default=2400.0,
+        help="simulated day length (seconds) of the engine throughput "
+        "benchmark; CI smoke runs pass a tiny value (overridden to the "
+        "full 8-hour day by --paper-scale)",
+    )
 
 
 @pytest.fixture(scope="session")

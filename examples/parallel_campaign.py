@@ -1,0 +1,90 @@
+"""Parallel campaign collection with the batch engine and CampaignRunner.
+
+Demonstrates the vectorised simulation spine:
+
+1. one day collected with the batch engine vs. the scalar reference
+   (identical output, an order of magnitude faster),
+2. a five-day campaign fanned out over a process pool,
+3. a fleet of independent campaigns, each with its own derived child seed
+   (reproducible from the single root seed).
+
+Run with::
+
+    python examples/parallel_campaign.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import paper_office
+from repro.mobility.behavior import BehaviorProfile
+from repro.mobility.scheduler import ScheduleGenerator
+from repro.simulation.collector import CampaignCollector
+from repro.simulation.runner import CampaignRunner
+
+DAY_S = 2400.0  # a compact 40-minute working day
+
+
+def compact_profiles(layout):
+    profile = BehaviorProfile(
+        departures_per_hour=6.5,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=2.0,
+    )
+    return {w.workstation_id: profile for w in layout.workstations}
+
+
+def main() -> None:
+    layout = paper_office()
+    profiles = compact_profiles(layout)
+
+    # --- 1. batch vs scalar on one day -------------------------------- #
+    collector = CampaignCollector(layout, seed=42)
+    generator = ScheduleGenerator(layout, profiles, rng=np.random.default_rng(7))
+    day = generator.generate_day(0, DAY_S)
+
+    t0 = time.perf_counter()
+    batch = collector.collect_day(day)
+    t_batch = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar = collector.collect_day_scalar(day)
+    t_scalar = time.perf_counter() - t0
+
+    sid = batch.trace.stream_ids[0]
+    identical = np.array_equal(batch.trace.streams[sid], scalar.trace.streams[sid])
+    print(f"one {DAY_S:.0f}s day, {batch.trace.n_samples} steps:")
+    print(f"  scalar engine: {t_scalar:6.2f}s")
+    print(f"  batch engine:  {t_batch:6.2f}s  ({t_scalar / t_batch:.1f}x faster)")
+    print(f"  traces bit-identical: {identical}")
+
+    # --- 2. a campaign fanned out over workers ------------------------ #
+    runner = CampaignRunner(layout, seed=42, mode="process")
+    t0 = time.perf_counter()
+    campaign = runner.run_generated(n_days=5, day_duration_s=DAY_S, profiles=profiles)
+    t_run = time.perf_counter() - t0
+    print(f"\nfive-day campaign via process pool: {t_run:.2f}s")
+    print(f"  labelled events: {campaign.total_labelled_events()}")
+    print(f"  label histogram: {campaign.label_counts()}")
+
+    # --- 3. a reproducible fleet of independent campaigns ------------- #
+    schedule = ScheduleGenerator(
+        layout, profiles, rng=np.random.default_rng(1)
+    ).generate_campaign(2, DAY_S)
+    fleet_runner = CampaignRunner(layout, seed=7, mode="process")
+    t0 = time.perf_counter()
+    fleet = fleet_runner.run_many([schedule] * 4)
+    t_fleet = time.perf_counter() - t0
+    print(f"\nfour independent campaigns (same schedule, child seeds): {t_fleet:.2f}s")
+    for i, recording in enumerate(fleet):
+        print(
+            f"  campaign {i}: {recording.total_departures()} departures, "
+            f"seed {fleet_runner.campaign_seed(i).spawn_key}"
+        )
+
+
+if __name__ == "__main__":
+    main()

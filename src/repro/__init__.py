@@ -30,12 +30,17 @@ from .core.config import FadewichConfig, MDConfig, REConfig
 from .core.system import FadewichSystem
 from .radio.office import OfficeLayout, paper_office
 from .simulation.collector import CampaignCollector, CampaignRecording
+from .simulation.runner import CampaignRunner
 
-__version__ = "1.0.0"
+# 2.0.0: breaking — the seeding scheme moved to per-purpose SeedSequence
+# streams (same seed now yields different, but still deterministic,
+# campaigns than 1.x) and replay_day raises ValueError on empty traces.
+__version__ = "2.0.0"
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
+    "CampaignRunner",
     "FadewichConfig",
     "FadewichSystem",
     "MDConfig",

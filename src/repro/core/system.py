@@ -183,17 +183,37 @@ class FadewichSystem:
 
         The day's activity traces provide both the KMA idle times and the
         session input events (cancelling alerts / screen savers).
+
+        Raises
+        ------
+        ValueError
+            If the day's trace has no streams or no samples — there is
+            nothing to replay, and silently returning an empty report would
+            mask a broken recording.
         """
+        if not day.trace.streams:
+            raise ValueError(
+                "cannot replay a day whose trace has no RSSI streams"
+            )
+        if day.trace.n_samples == 0:
+            raise ValueError(
+                "cannot replay a day whose trace has no samples"
+            )
         provider = TraceIdleProvider(day.activity)
         self.attach_idle_provider(provider)
         assert self._controller is not None
 
         trace = day.trace.restricted_to(self._stream_ids)
         times = trace.times
+        # Precompute the per-step sample rows once: a (n_steps, n_streams)
+        # matrix turned into row lists is far cheaper than indexing every
+        # stream's numpy array element by element at every step.
+        matrix = np.column_stack([trace.streams[sid] for sid in self._stream_ids])
+        rows = matrix.tolist()
         prev_t = float(times[0]) - 1.0 / self._rate
         for i in range(times.shape[0]):
             t = float(times[i])
-            sample = {sid: float(trace.streams[sid][i]) for sid in self._stream_ids}
+            sample = dict(zip(self._stream_ids, rows[i]))
             self.process_sample(t, sample)
             # Forward keyboard/mouse input to the sessions so alerts cancel
             # and deauthenticated users eventually log back in.

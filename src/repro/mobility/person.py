@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,6 +127,129 @@ class Person:
                 self._next_fidget_t = t + rng.exponential(self.fidget_interval_s)
             return self.seat.translated(*self._fidget_offset)
         return self.seat
+
+    def positions_over(
+        self,
+        times: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+        walks: Sequence[Tuple[int, Trajectory, "PresenceState"]] = (),
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Replay this person's presence over a whole timestamp grid at once.
+
+        The batch counterpart of the per-step ``update`` / ``position_at``
+        protocol: given the walk assignments of a day, it reproduces — draw
+        for draw and step for step — the positions the scalar state machine
+        would produce, but vectorised over movement-delimited segments
+        (walk legs evaluate through :meth:`Trajectory.positions_at`, seated
+        spans are piecewise-constant between fidget resamples, absences are
+        masked out).
+
+        Parameters
+        ----------
+        times:
+            The day's timestamp grid (strictly increasing).
+        rng:
+            The person's dedicated fidget stream.  The scalar path must pass
+            the *same* stream to :meth:`position_at` for the outputs to be
+            identical.
+        walks:
+            ``(fire_index, trajectory, ends_as)`` triples in firing order:
+            at grid step ``fire_index`` the person starts walking along
+            ``trajectory`` and, once the walk completes, transitions to
+            ``ends_as`` (mirroring :meth:`start_walk`).
+
+        Returns
+        -------
+        (xy, present, walking):
+            ``xy`` is an ``(n_steps, 2)`` position array (rows where the
+            person is absent hold the current seat as a finite placeholder),
+            ``present`` and ``walking`` are boolean masks per step.
+
+        The person itself is not mutated; replay starts from the current
+        state.
+        """
+        times = np.asarray(times, dtype=float)
+        n = times.shape[0]
+        xy = np.empty((n, 2))
+        present = np.zeros(n, dtype=bool)
+        walking = np.zeros(n, dtype=bool)
+
+        state = self._state
+        seat_x, seat_y = self.seat.x, self.seat.y
+        traj = self._trajectory
+        after_state = self._after_walk_state
+        offset = self._fidget_offset
+        next_fidget_t = self._next_fidget_t
+        fidget = rng is not None and self.fidget_sigma_m > 0
+
+        walk_list = list(walks)
+        wi = 0  # next walk assignment to fire
+        k = 0
+        while k < n:
+            next_fire = walk_list[wi][0] if wi < len(walk_list) else n
+            if next_fire <= k:
+                # Movements are processed before the state update at a step,
+                # so a firing walk replaces any walk still in flight.
+                _, traj, after_state = walk_list[wi]
+                state = PresenceState.WALKING
+                wi += 1
+                continue
+            if state is PresenceState.WALKING and traj is not None:
+                k_end = int(np.searchsorted(times, traj.end_time, side="left"))
+                if k_end <= k:
+                    # The walk completes at this step (update() semantics).
+                    if after_state is PresenceState.SEATED:
+                        last = traj.waypoints[-1]
+                        seat_x, seat_y = last.x, last.y
+                    state = after_state
+                    traj = None
+                    continue
+                stop = min(next_fire, k_end, n)
+                xy[k:stop] = traj.positions_at(times[k:stop])
+                present[k:stop] = True
+                walking[k:stop] = True
+                k = stop
+                continue
+            stop = min(next_fire, n)
+            if state is PresenceState.ABSENT:
+                xy[k:stop, 0] = seat_x
+                xy[k:stop, 1] = seat_y
+                k = stop
+                continue
+            # Seated: piecewise-constant around the seat, resampling the
+            # fidget offset exactly when the scalar path would.
+            present[k:stop] = True
+            if not fidget:
+                xy[k:stop, 0] = seat_x
+                xy[k:stop, 1] = seat_y
+                k = stop
+                continue
+            kk = k
+            floor_idx = kk
+            while kk < stop:
+                if next_fidget_t is None:
+                    draw_idx = floor_idx
+                else:
+                    draw_idx = max(
+                        floor_idx,
+                        int(np.searchsorted(times, next_fidget_t, side="left")),
+                    )
+                if draw_idx >= stop:
+                    xy[kk:stop, 0] = seat_x + offset[0]
+                    xy[kk:stop, 1] = seat_y + offset[1]
+                    kk = stop
+                    break
+                xy[kk:draw_idx, 0] = seat_x + offset[0]
+                xy[kk:draw_idx, 1] = seat_y + offset[1]
+                dx, dy = rng.normal(0.0, self.fidget_sigma_m, 2)
+                offset = (float(dx), float(dy))
+                next_fidget_t = float(times[draw_idx]) + float(
+                    rng.exponential(self.fidget_interval_s)
+                )
+                kk = draw_idx
+                floor_idx = draw_idx + 1
+            k = stop
+        return xy, present, walking
 
     def is_present(self) -> bool:
         """Whether the person is currently inside the office."""

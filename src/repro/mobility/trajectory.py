@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..radio.geometry import Point, interpolate
 
 __all__ = ["Trajectory", "walk_through", "departure_trajectory", "entry_trajectory"]
@@ -61,23 +63,92 @@ class Trajectory:
         """Whether the walker is en route at time ``t``."""
         return self.start_time <= t <= self.end_time
 
+    def _interp_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(cums, durs, wx, wy)`` arrays, built once and cached.
+
+        The cumulative boundaries come from a sequential running sum so the
+        scalar and vectorised interpolation paths resolve a time to
+        *exactly* the same segment and fraction.  Cached on the (frozen)
+        instance because both engines call into these on hot paths.
+        """
+        cached = self.__dict__.get("_interp_cache")
+        if cached is None:
+            acc = 0.0
+            cums: List[float] = []
+            for d in self.segment_durations:
+                acc = acc + d
+                cums.append(acc)
+            cached = (
+                np.asarray(cums),
+                np.asarray(self.segment_durations),
+                np.asarray([p.x for p in self.waypoints]),
+                np.asarray([p.y for p in self.waypoints]),
+            )
+            object.__setattr__(self, "_interp_cache", cached)
+        return cached
+
     def position_at(self, t: float) -> Point:
         """Walker position at time ``t``.
 
         Before the start the walker is at the first waypoint, after the end
-        at the last waypoint.
+        at the last waypoint.  Equivalent to ``positions_at([t])[0]`` — both
+        paths share the cumulative-boundary arithmetic.
         """
         if t <= self.start_time:
             return self.waypoints[0]
         if t >= self.end_time:
             return self.waypoints[-1]
         elapsed = t - self.start_time
-        for i, seg_dur in enumerate(self.segment_durations):
-            if elapsed <= seg_dur or i == len(self.segment_durations) - 1:
-                frac = 1.0 if seg_dur <= 0 else min(elapsed / seg_dur, 1.0)
-                return interpolate(self.waypoints[i], self.waypoints[i + 1], frac)
-            elapsed -= seg_dur
-        return self.waypoints[-1]
+        cums, _, _, _ = self._interp_arrays()
+        idx = int(np.searchsorted(cums, elapsed, side="left"))
+        idx = min(idx, cums.shape[0] - 1)
+        seg_start = float(cums[idx - 1]) if idx > 0 else 0.0
+        seg_dur = self.segment_durations[idx]
+        frac = 1.0 if seg_dur <= 0 else min((elapsed - seg_start) / seg_dur, 1.0)
+        return interpolate(self.waypoints[idx], self.waypoints[idx + 1], frac)
+
+    def positions_at(self, times) -> np.ndarray:
+        """Walker positions for a whole array of times at once.
+
+        Parameters
+        ----------
+        times:
+            Array-like of timestamps (seconds).
+
+        Returns
+        -------
+        ndarray of shape ``(len(times), 2)``
+            The ``(x, y)`` position at every timestamp.  Matches
+            :meth:`position_at` pointwise exactly: both use the same
+            cumulative segment boundaries and interpolation expression.
+        """
+        t = np.asarray(times, dtype=float)
+        if t.ndim != 1:
+            raise ValueError("times must be one-dimensional")
+        elapsed = t - self.start_time
+        cums, durs, wx, wy = self._interp_arrays()
+        n_segs = durs.shape[0]
+        idx = np.searchsorted(cums, elapsed, side="left")
+        idx = np.minimum(idx, n_segs - 1)
+        seg_start = np.where(idx > 0, cums[np.maximum(idx - 1, 0)], 0.0)
+        seg_dur = durs[idx]
+        safe_dur = np.where(seg_dur > 0, seg_dur, 1.0)
+        with np.errstate(over="ignore"):
+            # A near-zero segment duration can overflow the division; the
+            # resulting inf clamps to 1.0 exactly as the scalar path does.
+            frac = np.where(
+                seg_dur > 0, np.minimum((elapsed - seg_start) / safe_dur, 1.0), 1.0
+            )
+        frac = np.minimum(1.0, np.maximum(0.0, frac))
+
+        x = wx[idx] + (wx[idx + 1] - wx[idx]) * frac
+        y = wy[idx] + (wy[idx + 1] - wy[idx]) * frac
+
+        before = t <= self.start_time
+        after = t >= self.end_time
+        x = np.where(before, wx[0], np.where(after, wx[-1], x))
+        y = np.where(before, wy[0], np.where(after, wy[-1], y))
+        return np.column_stack([x, y])
 
 
 def walk_through(

@@ -5,12 +5,36 @@ quiescent noise and the body-shadowing model.  Given the positions of all
 people in the office at a sampling instant, :class:`RadioChannel` produces
 one quantised RSSI sample (dBm) per directed stream — the quantity the
 paper's sensors report.
+
+Two sampling modes
+------------------
+
+* **Scalar** — :meth:`RadioChannel.sample_vector` / :meth:`RadioChannel.sample`
+  produce one multi-stream sample per call, advancing the channel state one
+  timestep.  This is the reference path used by
+  ``CampaignCollector.collect_day_scalar`` and by the online examples.
+* **Batch** — :meth:`RadioChannel.sample_block` computes a whole
+  ``(n_steps, n_streams)`` chunk of samples in one vectorised pass.  It is
+  the hot path of the batch campaign engine.
+
+Seeding scheme
+--------------
+
+When constructed with ``seed_seq`` (a :class:`numpy.random.SeedSequence`),
+the channel spawns one child generator per stochastic purpose — slow drift,
+quiescent noise, outlier indicators, outlier magnitudes and shadowing
+fluctuation.  Each purpose consumes a fixed number of draws per timestep
+from its own stream, so drawing ``n`` values step by step (scalar mode) or
+``(k, n)`` values at once (batch mode) yields *identical* numbers: the two
+modes are bit-for-bit equivalent.  When constructed with a plain ``rng``
+the channel keeps the historical single-stream draw order; that mode cannot
+be batched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -74,11 +98,20 @@ class RadioChannel:
     config:
         Channel configuration.
     rng:
-        Random generator for all stochastic components.
+        Random generator for all stochastic components (legacy single-stream
+        mode; ignored when ``seed_seq`` is given).
     sample_interval_s:
-        Time between consecutive calls to :meth:`sample` (used to scale the
-        drift process).
+        Time between consecutive samples (used to scale the drift process).
+    seed_seq:
+        A :class:`numpy.random.SeedSequence` from which one child generator
+        per stochastic purpose is spawned.  Required for
+        :meth:`sample_block`; makes scalar and batch sampling bit-identical.
     """
+
+    #: How many timesteps :meth:`sample_block` processes per vectorised
+    #: chunk.  Bounds the working-set size (chunk x bodies x streams) while
+    #: keeping per-chunk numpy overhead negligible.
+    BLOCK_CHUNK_STEPS = 1024
 
     def __init__(
         self,
@@ -86,14 +119,35 @@ class RadioChannel:
         config: Optional[ChannelConfig] = None,
         rng: Optional[np.random.Generator] = None,
         sample_interval_s: float = 0.25,
+        seed_seq: Optional[np.random.SeedSequence] = None,
     ) -> None:
         if sample_interval_s <= 0:
             raise ValueError("sample interval must be positive")
         self._links = links
         self._config = config if config is not None else ChannelConfig()
-        self._rng = rng if rng is not None else np.random.default_rng()
         self._dt = sample_interval_s
         self._drift = 0.0
+        if seed_seq is not None:
+            (
+                drift_ss,
+                noise_ss,
+                outlier_u_ss,
+                outlier_n_ss,
+                extra_ss,
+            ) = seed_seq.spawn(5)
+            self._drift_rng = np.random.default_rng(drift_ss)
+            self._noise_rng = np.random.default_rng(noise_ss)
+            self._outlier_u_rng = np.random.default_rng(outlier_u_ss)
+            self._outlier_n_rng = np.random.default_rng(outlier_n_ss)
+            self._extra_rng = np.random.default_rng(extra_ss)
+            # No legacy generator in split mode: an accidental legacy draw
+            # would silently desynchronise the per-purpose streams, so fail
+            # fast instead.
+            self._rng = None
+            self._split = True
+        else:
+            self._rng = rng if rng is not None else np.random.default_rng()
+            self._split = False
         # Pre-compute the static mean RSSI of every stream.
         self._mean_rssi: Dict[str, float] = {
             s.id: self._config.pathloss.mean_rssi_dbm(
@@ -101,7 +155,7 @@ class RadioChannel:
             )
             for s in links
         }
-        # Vectorised per-stream arrays used by the fast sampling path.
+        # Vectorised per-stream arrays used by the fast sampling paths.
         self._stream_order = links.stream_ids
         self._tx_xy = np.asarray(
             [[s.tx_position.x, s.tx_position.y] for s in links], dtype=float
@@ -131,41 +185,104 @@ class RadioChannel:
         """Stream ids in the channel's enumeration order."""
         return self._links.stream_ids
 
+    @property
+    def is_split(self) -> bool:
+        """Whether the channel uses per-purpose random streams."""
+        return self._split
+
     def mean_rssi(self, sid: str) -> float:
         """The undisturbed mean RSSI of a stream (dBm)."""
         return self._mean_rssi[sid]
 
     # ------------------------------------------------------------------ #
+    def _drift_theta(self) -> float:
+        cfg = self._config
+        return self._dt / max(cfg.slow_drift_tau_s, self._dt)
+
     def _advance_drift(self) -> float:
         cfg = self._config
         if cfg.slow_drift_sigma_db <= 0:
             return 0.0
-        theta = self._dt / max(cfg.slow_drift_tau_s, self._dt)
-        self._drift += -theta * self._drift + self._rng.normal(
-            0.0, cfg.slow_drift_sigma_db * np.sqrt(theta)
-        )
+        theta = self._drift_theta()
+        if self._split:
+            c = cfg.slow_drift_sigma_db * np.sqrt(theta)
+            z = self._drift_rng.standard_normal()
+            self._drift = c * z + (1.0 - theta) * self._drift
+        else:
+            self._drift += -theta * self._drift + self._rng.normal(
+                0.0, cfg.slow_drift_sigma_db * np.sqrt(theta)
+            )
         return self._drift
 
-    def _shadowing_vectors(self, bodies, speeds) -> np.ndarray:
-        """Per-stream ``(attenuation_db, extra_sigma_db)`` for the given bodies.
+    def _drift_block(self, n_steps: int) -> np.ndarray:
+        """The next ``n_steps`` values of the drift process (split mode).
 
-        Vectorised over streams: the excess path length and segment distance
-        of every body with respect to every link are computed with numpy
-        expressions, applying the same attenuation / static-sigma / motion-
-        sigma profile as :class:`~repro.radio.shadowing.BodyShadowingModel`.
+        The AR(1) recurrence is evaluated with exactly the expression the
+        scalar path uses (``c * z + (1 - theta) * drift``), so consecutive
+        scalar calls and one block call produce bit-identical series.
         """
-        n = self._tx_xy.shape[0]
-        if not bodies:
-            return np.zeros((2, n))
+        cfg = self._config
+        if cfg.slow_drift_sigma_db <= 0:
+            return np.zeros(n_steps)
+        theta = self._drift_theta()
+        c = cfg.slow_drift_sigma_db * np.sqrt(theta)
+        z = self._drift_rng.standard_normal(n_steps)
+        out = np.empty(n_steps)
+        drift = self._drift
+        scale = 1.0 - theta
+        for i in range(n_steps):
+            drift = c * z[i] + scale * drift
+            out[i] = drift
+        self._drift = drift
+        return out
+
+    # ------------------------------------------------------------------ #
+    def _shadowing_block(
+        self,
+        body_xy: np.ndarray,
+        speeds: np.ndarray,
+        mask: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-step, per-stream ``(attenuation_db, extra_sigma_db)``.
+
+        Parameters
+        ----------
+        body_xy:
+            ``(n_steps, n_bodies, 2)`` positions.  Rows masked out may hold
+            any finite placeholder.
+        speeds:
+            ``(n_steps, n_bodies)`` instantaneous speeds (m/s).
+        mask:
+            ``(n_steps, n_bodies)`` presence mask; masked bodies contribute
+            exactly zero, so a block over all persons equals a scalar call
+            over only the present ones.
+
+        Returns
+        -------
+        (attenuation, extra_sigma):
+            Two ``(n_steps, n_streams)`` arrays, applying the same
+            attenuation / static-sigma / motion-sigma profile as
+            :class:`~repro.radio.shadowing.BodyShadowingModel`.
+        """
+        n_steps = body_xy.shape[0]
+        n_streams = self._tx_xy.shape[0]
+        if body_xy.shape[1] == 0 or not mask.any():
+            zeros = np.zeros((n_steps, n_streams))
+            return zeros, zeros.copy()
         sh = self._config.shadowing
-        body_xy = np.asarray([[b.x, b.y] for b in bodies], dtype=float)
-        speeds = np.asarray(speeds, dtype=float)
-        # distances body -> tx and body -> rx, shape (n_bodies, n_streams)
-        d_tx = np.linalg.norm(body_xy[:, None, :] - self._tx_xy[None, :, :], axis=2)
-        d_rx = np.linalg.norm(body_xy[:, None, :] - self._rx_xy[None, :, :], axis=2)
-        delta = np.maximum(d_tx + d_rx - self._link_len[None, :], 0.0)
+        mask3 = mask[:, :, None]
+        bx = body_xy[:, :, 0][:, :, None]  # (k, b, 1)
+        by = body_xy[:, :, 1][:, :, None]
+        txx, txy = self._tx_xy[:, 0], self._tx_xy[:, 1]  # (s,)
+        rxx, rxy = self._rx_xy[:, 0], self._rx_xy[:, 1]
+        # Distances body -> tx and body -> rx, shape (k, b, s).
+        dxt, dyt = bx - txx, by - txy
+        d_tx = np.sqrt(dxt * dxt + dyt * dyt)
+        dxr, dyr = bx - rxx, by - rxy
+        d_rx = np.sqrt(dxr * dxr + dyr * dyr)
+        delta = np.maximum(d_tx + d_rx - self._link_len, 0.0)
         reach = sh.lambda_m * sh.sigma_reach_multiplier
-        within = delta <= reach
+        within = (delta <= reach) & mask3
         atten = np.where(
             within,
             sh.max_attenuation_db
@@ -177,27 +294,49 @@ class RadioChannel:
         )
         # Motion-induced fluctuation: distance from each body to each link
         # segment, speed-scaled exponential decay.
-        link_vec = self._rx_xy - self._tx_xy  # (n_streams, 2)
+        vx, vy = rxx - txx, rxy - txy  # (s,)
         link_len_sq = np.maximum(self._link_len ** 2, 1e-12)
-        rel = body_xy[:, None, :] - self._tx_xy[None, :, :]
-        t_par = np.clip(
-            np.einsum("bsd,sd->bs", rel, link_vec) / link_len_sq, 0.0, 1.0
-        )
-        closest = self._tx_xy[None, :, :] + t_par[:, :, None] * link_vec[None, :, :]
-        seg_dist = np.linalg.norm(body_xy[:, None, :] - closest, axis=2)
+        t_par = np.clip((dxt * vx + dyt * vy) / link_len_sq, 0.0, 1.0)
+        cx = txx + t_par * vx
+        cy = txy + t_par * vy
+        sdx, sdy = bx - cx, by - cy
+        seg_dist = np.sqrt(sdx * sdx + sdy * sdy)
         speed_factor = np.minimum(
             speeds / sh.motion_reference_speed, 1.5
-        )[:, None]
-        motion_sigma = (
-            sh.motion_sigma_db * speed_factor * np.exp(-seg_dist / sh.motion_range_m)
+        )[:, :, None]
+        motion_sigma = np.where(
+            mask3,
+            sh.motion_sigma_db
+            * speed_factor
+            * np.exp(-seg_dist / sh.motion_range_m),
+            0.0,
         )
-        total_atten = atten.sum(axis=0) * self._sensitivity
+        total_atten = atten.sum(axis=1) * self._sensitivity
         total_sigma = (
-            np.sqrt((sigma ** 2).sum(axis=0) + (motion_sigma ** 2).sum(axis=0))
+            np.sqrt((sigma ** 2).sum(axis=1) + (motion_sigma ** 2).sum(axis=1))
             * self._sensitivity
         )
-        return np.vstack([total_atten, total_sigma])
+        return total_atten, total_sigma
 
+    def _shadowing_vectors(self, bodies, speeds) -> np.ndarray:
+        """Per-stream ``(attenuation_db, extra_sigma_db)`` for one instant.
+
+        Thin single-step wrapper over :meth:`_shadowing_block`, so the
+        scalar and batch paths share one implementation.
+        """
+        n = self._tx_xy.shape[0]
+        if not bodies:
+            return np.zeros((2, n))
+        body_xy = np.asarray([[b.x, b.y] for b in bodies], dtype=float)
+        sp = np.asarray(speeds, dtype=float)
+        atten, sigma = self._shadowing_block(
+            body_xy[None, :, :],
+            sp[None, :],
+            np.ones((1, body_xy.shape[0]), dtype=bool),
+        )
+        return np.vstack([atten[0], sigma[0]])
+
+    # ------------------------------------------------------------------ #
     def sample_vector(
         self,
         body_positions: Iterable[Point],
@@ -213,8 +352,9 @@ class RadioChannel:
             Their instantaneous speeds (m/s), in the same order.  Omitted
             speeds default to zero (static bodies).
 
-        This is the fast path used by the campaign collector; :meth:`sample`
-        wraps it into a dictionary.
+        This is the per-step path used by ``collect_day_scalar`` and the
+        online examples; :meth:`sample` wraps it into a dictionary and
+        :meth:`sample_block` is its vectorised batch counterpart.
         """
         bodies = list(body_positions)
         if body_speeds is None:
@@ -228,20 +368,154 @@ class RadioChannel:
         n = self._mean_vec.shape[0]
 
         atten, extra_sigma = self._shadowing_vectors(bodies, speeds)
-        noise = self._rng.normal(0.0, cfg.noise.base_sigma_db * self._sensitivity)
-        if cfg.noise.outlier_prob > 0:
-            outliers = self._rng.random(n) < cfg.noise.outlier_prob
-            noise = noise + outliers * self._rng.normal(
-                0.0, cfg.noise.outlier_scale_db, n
+        if self._split:
+            noise = self._noise_rng.standard_normal(n) * (
+                cfg.noise.base_sigma_db * self._sensitivity
             )
-        extra = np.where(
-            extra_sigma > 0, self._rng.normal(0.0, 1.0, n) * extra_sigma, 0.0
-        )
+            if cfg.noise.outlier_prob > 0:
+                outliers = self._outlier_u_rng.random(n) < cfg.noise.outlier_prob
+                noise = noise + outliers * (
+                    self._outlier_n_rng.standard_normal(n)
+                    * cfg.noise.outlier_scale_db
+                )
+            extra = np.where(
+                extra_sigma > 0,
+                self._extra_rng.standard_normal(n) * extra_sigma,
+                0.0,
+            )
+        else:
+            noise = self._rng.normal(
+                0.0, cfg.noise.base_sigma_db * self._sensitivity
+            )
+            if cfg.noise.outlier_prob > 0:
+                outliers = self._rng.random(n) < cfg.noise.outlier_prob
+                noise = noise + outliers * self._rng.normal(
+                    0.0, cfg.noise.outlier_scale_db, n
+                )
+            extra = np.where(
+                extra_sigma > 0, self._rng.normal(0.0, 1.0, n) * extra_sigma, 0.0
+            )
         rssi = self._mean_vec - atten + noise + extra + drift
         rssi = np.maximum(rssi, cfg.rssi_floor_dbm)
         if cfg.quantization_db > 0:
             rssi = np.round(rssi / cfg.quantization_db) * cfg.quantization_db
         return rssi
+
+    def sample_block(
+        self,
+        positions: np.ndarray,
+        speeds: Optional[np.ndarray] = None,
+        presence: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """A whole chunk of RSSI samples in one vectorised pass.
+
+        Parameters
+        ----------
+        positions:
+            ``(n_steps, n_bodies, 2)`` body positions (``(n_steps, 2)`` is
+            accepted for a single body).  Rows of absent bodies may hold any
+            finite placeholder — they are masked by ``presence``.
+        speeds:
+            ``(n_steps, n_bodies)`` speeds (m/s); zero when omitted.
+        presence:
+            ``(n_steps, n_bodies)`` boolean mask; all-present when omitted.
+
+        Returns
+        -------
+        ndarray of shape ``(n_steps, n_streams)``
+            One quantised RSSI sample per step and stream, advancing the
+            drift state across the block.  Requires a channel built with
+            ``seed_seq``; the result is bit-identical to ``n_steps``
+            successive :meth:`sample_vector` calls with the present bodies.
+        """
+        if not self._split:
+            raise RuntimeError(
+                "sample_block requires a channel constructed with seed_seq= "
+                "(per-purpose random streams); the legacy single-rng draw "
+                "order cannot be batched"
+            )
+        pos = np.asarray(positions, dtype=float)
+        if pos.ndim == 2:
+            pos = pos[:, None, :]
+        if pos.ndim != 3 or pos.shape[-1] != 2:
+            raise ValueError("positions must have shape (n_steps, n_bodies, 2)")
+        n_steps, n_bodies = pos.shape[0], pos.shape[1]
+        if speeds is None:
+            sp = np.zeros((n_steps, n_bodies))
+        else:
+            sp = np.asarray(speeds, dtype=float)
+            if sp.ndim == 1:
+                sp = sp[:, None]
+            if sp.shape != (n_steps, n_bodies):
+                raise ValueError("speeds must have shape (n_steps, n_bodies)")
+        if presence is None:
+            mask = np.ones((n_steps, n_bodies), dtype=bool)
+        else:
+            mask = np.asarray(presence, dtype=bool)
+            if mask.ndim == 1:
+                mask = mask[:, None]
+            if mask.shape != (n_steps, n_bodies):
+                raise ValueError("presence must have shape (n_steps, n_bodies)")
+
+        cfg = self._config
+        n = self._mean_vec.shape[0]
+        out = np.empty((n_steps, n))
+        base_sigma = cfg.noise.base_sigma_db * self._sensitivity
+
+        # Shadowing geometry is a pure function of (positions, speeds,
+        # presence); most of a working day is motionless (seated spans are
+        # piecewise-constant between fidget resamples), so evaluate it only
+        # at change points and fan the rows back out.  Identical inputs
+        # yield identical outputs, keeping the scalar equivalence exact.
+        if n_steps > 1 and n_bodies > 0:
+            unchanged = (
+                np.all(pos[1:] == pos[:-1], axis=(1, 2))
+                & np.all(sp[1:] == sp[:-1], axis=1)
+                & np.all(mask[1:] == mask[:-1], axis=1)
+            )
+            run_starts = np.concatenate(
+                [[0], np.flatnonzero(~unchanged) + 1]
+            )
+        else:
+            run_starts = np.array([0]) if n_steps else np.empty(0, dtype=int)
+        n_unique = run_starts.shape[0]
+        atten_u = np.empty((n_unique, n))
+        sigma_u = np.empty((n_unique, n))
+        for ustart in range(0, n_unique, self.BLOCK_CHUNK_STEPS):
+            ustop = min(ustart + self.BLOCK_CHUNK_STEPS, n_unique)
+            idx = run_starts[ustart:ustop]
+            atten_u[ustart:ustop], sigma_u[ustart:ustop] = self._shadowing_block(
+                pos[idx], sp[idx], mask[idx]
+            )
+        run_lens = np.diff(np.concatenate([run_starts, [n_steps]]))
+        step_to_unique = np.repeat(np.arange(n_unique), run_lens)
+
+        for start in range(0, n_steps, self.BLOCK_CHUNK_STEPS):
+            stop = min(start + self.BLOCK_CHUNK_STEPS, n_steps)
+            k = stop - start
+            atten = atten_u[step_to_unique[start:stop]]
+            extra_sigma = sigma_u[step_to_unique[start:stop]]
+            drift = self._drift_block(k)
+            noise = self._noise_rng.standard_normal((k, n)) * base_sigma
+            if cfg.noise.outlier_prob > 0:
+                outliers = (
+                    self._outlier_u_rng.random((k, n)) < cfg.noise.outlier_prob
+                )
+                noise = noise + outliers * (
+                    self._outlier_n_rng.standard_normal((k, n))
+                    * cfg.noise.outlier_scale_db
+                )
+            extra = np.where(
+                extra_sigma > 0,
+                self._extra_rng.standard_normal((k, n)) * extra_sigma,
+                0.0,
+            )
+            rssi = self._mean_vec - atten + noise + extra + drift[:, None]
+            rssi = np.maximum(rssi, cfg.rssi_floor_dbm)
+            if cfg.quantization_db > 0:
+                rssi = np.round(rssi / cfg.quantization_db) * cfg.quantization_db
+            out[start:stop] = rssi
+        return out
 
     def sample(
         self,

@@ -3,19 +3,31 @@
 * :mod:`~repro.simulation.clock` — the fixed-rate simulation clock,
 * :mod:`~repro.simulation.collector` — executes movement schedules against
   the simulated office and records RSSI traces, ground-truth events and
-  input activity (the paper's five-day measurement campaign),
+  input activity (the paper's five-day measurement campaign); hosts both
+  the vectorised batch engine (``collect_day``) and the per-step reference
+  engine (``collect_day_scalar``),
+* :mod:`~repro.simulation.runner` — parallel execution of independent days
+  and campaigns via ``concurrent.futures``,
 * :mod:`~repro.simulation.dataset` — labelled RE sample datasets.
 """
 
 from .clock import SimulationClock
-from .collector import CampaignCollector, CampaignRecording, DayRecording
+from .collector import (
+    CampaignCollector,
+    CampaignRecording,
+    DayRecording,
+    derive_seed_sequence,
+)
 from .dataset import LabeledSample, SampleDataset
+from .runner import CampaignRunner
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
+    "CampaignRunner",
     "DayRecording",
     "LabeledSample",
     "SampleDataset",
     "SimulationClock",
+    "derive_seed_sequence",
 ]

@@ -1,0 +1,315 @@
+"""Parallel campaign execution.
+
+The batch engine makes a single day cheap; this module makes *many* days
+and *many campaigns* cheap by executing them concurrently.  Days are
+embarrassingly parallel under the collector's seeding scheme: every day's
+random streams derive from the root entropy and the day index alone (see
+:mod:`repro.simulation.collector`), so collecting day 3 in a worker process
+yields bit-identical output to collecting it serially after days 0-2.
+
+* :meth:`CampaignRunner.run` — execute one schedule, one task per day.
+* :meth:`CampaignRunner.run_generated` — draw a schedule (serially, on the
+  structural stream) and execute it in parallel.
+* :meth:`CampaignRunner.run_many` — execute several independent campaigns;
+  campaign ``i`` is seeded with the spawn-key-derived child
+  ``(CAMPAIGN_DOMAIN, i)`` of the runner's root
+  :class:`~numpy.random.SeedSequence`, so the fleet is reproducible from a
+  single integer seed.
+
+Outputs are plain :class:`~repro.simulation.collector.CampaignRecording`
+objects — the same type ``CampaignCollector.collect`` returns — so they
+feed directly into :class:`~repro.core.system.FadewichSystem` training and
+replay, the analysis context and every figure/table benchmark.
+
+Execution modes: ``"process"`` (default, true parallelism via
+``concurrent.futures.ProcessPoolExecutor``), ``"thread"`` (shares one
+collector; useful when the numpy build releases the GIL or for testing),
+and ``"serial"`` (no executor at all).  If a process pool cannot be
+created (restricted environments), the runner degrades to serial execution
+with a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..radio.channel import ChannelConfig
+from ..radio.office import OfficeLayout
+from .clock import SimulationClock
+from .collector import (
+    CAMPAIGN_DOMAIN,
+    CampaignCollector,
+    CampaignRecording,
+    DayRecording,
+    derive_seed_sequence,
+    require_unique_day_indices,
+)
+from ..mobility.scheduler import CampaignSchedule, DaySchedule
+
+__all__ = ["CampaignRunner"]
+
+_MODES = ("process", "thread", "serial")
+
+
+def _seed_key(seed_seq: np.random.SeedSequence):
+    """A hashable identity for a seed sequence.
+
+    ``SeedSequence.entropy`` may be an int, ``None`` or a list (when the
+    sequence was built from pooled entropy), so normalise it to a tuple.
+    """
+    entropy = seed_seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = tuple(entropy)
+    return entropy, tuple(seed_seq.spawn_key)
+
+
+def _collect_day_task(
+    layout: OfficeLayout,
+    clock: Optional[SimulationClock],
+    channel_config: Optional[ChannelConfig],
+    seed_seq: np.random.SeedSequence,
+    day: DaySchedule,
+    seed_base: Optional[np.random.SeedSequence] = None,
+) -> DayRecording:
+    """Worker entry point: rebuild the collector and collect one day.
+
+    Module-level so it pickles for process pools.  Reconstructing the
+    collector repeats only the cheap construction work (fade levels draw
+    from the structural stream, so every worker sees the same link set);
+    the day result is identical to a serial ``collect_day`` call.
+    """
+    collector = CampaignCollector(
+        layout, clock=clock, channel_config=channel_config, seed=seed_seq
+    )
+    return collector.collect_day(day, seed_base=seed_base)
+
+
+class CampaignRunner:
+    """Executes campaign schedules with per-day / per-campaign parallelism.
+
+    Parameters
+    ----------
+    layout:
+        The office layout shared by all campaigns.
+    clock:
+        Sampling clock (default 4 Hz).
+    channel_config:
+        Radio channel configuration.
+    seed:
+        Root seed (int, ``None`` or :class:`numpy.random.SeedSequence`);
+        campaign ``i`` of :meth:`run_many` derives its own child seed from
+        it, and :meth:`run` forwards it to the day collectors unchanged, so
+        runner results match ``CampaignCollector(layout, seed=seed)``
+        exactly.
+    max_workers:
+        Upper bound on concurrent workers (default: CPU count).
+    mode:
+        ``"process"``, ``"thread"`` or ``"serial"``.
+    """
+
+    def __init__(
+        self,
+        layout: OfficeLayout,
+        *,
+        clock: Optional[SimulationClock] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        seed: Union[int, np.random.SeedSequence, None] = None,
+        max_workers: Optional[int] = None,
+        mode: str = "process",
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self._layout = layout
+        self._clock = clock
+        self._channel_config = channel_config
+        if isinstance(seed, np.random.SeedSequence):
+            self._root = seed
+        else:
+            self._root = np.random.SeedSequence(seed)
+        self._max_workers = max_workers
+        self._mode = mode
+        # Lazily-built collector reused by run_generated so repeated calls
+        # advance the structural stream exactly like a reused
+        # CampaignCollector.collect_generated would.
+        self._schedule_collector: Optional[CampaignCollector] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def mode(self) -> str:
+        return self._mode
+
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return self._root
+
+    def _make_collector(self, seed_seq: np.random.SeedSequence) -> CampaignCollector:
+        return CampaignCollector(
+            self._layout,
+            clock=self._clock,
+            channel_config=self._channel_config,
+            seed=seed_seq,
+        )
+
+    def _worker_count(self, n_tasks: int) -> int:
+        cap = self._max_workers if self._max_workers else (os.cpu_count() or 1)
+        return max(1, min(cap, n_tasks))
+
+    def _collectors_for(self, tasks: Sequence[tuple]) -> dict:
+        """One collector per distinct seed (collect_day shares safely)."""
+        collectors: dict = {}
+        for seed_seq, _, _ in tasks:
+            key = _seed_key(seed_seq)
+            if key not in collectors:
+                collectors[key] = self._make_collector(seed_seq)
+        return collectors
+
+    def _collect_serial(self, tasks: Sequence[tuple]) -> List[DayRecording]:
+        collectors = self._collectors_for(tasks)
+        return [
+            collectors[_seed_key(seed_seq)].collect_day(day, seed_base=base)
+            for seed_seq, day, base in tasks
+        ]
+
+    def _collect_days(
+        self, tasks: Sequence[tuple]
+    ) -> List[DayRecording]:
+        """Collect ``(seed_seq, day, seed_base)`` tasks, preserving order."""
+        if self._mode == "serial" or len(tasks) <= 1:
+            return self._collect_serial(tasks)
+        if self._mode == "thread":
+            # collect_day never touches the structural stream, so one
+            # collector per distinct seed can be shared across threads.
+            collectors = self._collectors_for(tasks)
+            with ThreadPoolExecutor(
+                max_workers=self._worker_count(len(tasks))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        collectors[_seed_key(seed_seq)].collect_day,
+                        day,
+                        seed_base=base,
+                    )
+                    for seed_seq, day, base in tasks
+                ]
+                return [f.result() for f in futures]
+        # Process mode.  Only pool-infrastructure failures (no fork in this
+        # environment, pool died) trigger the serial fallback; exceptions
+        # raised by collect_day inside a worker propagate unchanged.
+        pool_error: BaseException
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=self._worker_count(len(tasks))
+            )
+        except (OSError, PermissionError, RuntimeError) as exc:
+            pool_error = exc
+        else:
+            with pool:
+                try:
+                    futures = [
+                        pool.submit(
+                            _collect_day_task,
+                            self._layout,
+                            self._clock,
+                            self._channel_config,
+                            seed_seq,
+                            day,
+                            base,
+                        )
+                        for seed_seq, day, base in tasks
+                    ]
+                except (OSError, PermissionError, BrokenProcessPool) as exc:
+                    # Worker spawn failed (e.g. fork blocked by the host).
+                    pool_error = exc
+                else:
+                    try:
+                        return [f.result() for f in futures]
+                    except BrokenProcessPool as exc:
+                        pool_error = exc
+        warnings.warn(
+            f"process pool unavailable ({pool_error!r}); falling back to "
+            "serial day collection",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return self._collect_serial(tasks)
+
+    # ------------------------------------------------------------------ #
+    def run(self, schedule: CampaignSchedule) -> CampaignRecording:
+        """Execute one campaign schedule, one parallel task per day.
+
+        Returns the same :class:`CampaignRecording` a serial
+        ``CampaignCollector(layout, seed=seed).collect(schedule)`` would.
+        """
+        require_unique_day_indices(schedule.days)
+        tasks = [(self._root, day, None) for day in schedule.days]
+        days = self._collect_days(tasks)
+        return CampaignRecording(days=days, layout=self._layout)
+
+    def run_generated(
+        self,
+        n_days: int = 5,
+        day_duration_s: float = 8 * 3600.0,
+        profiles: Optional[dict] = None,
+    ) -> CampaignRecording:
+        """Draw a schedule on the structural stream, then run it in parallel.
+
+        Matches ``CampaignCollector.collect_generated`` with the same seed,
+        including its statefulness: repeated calls draw successive
+        schedules from one structural stream, just like repeated
+        ``collect_generated`` calls on one collector.  Schedule generation
+        happens serially in the parent; only the day collection fans out.
+        """
+        if self._schedule_collector is None:
+            self._schedule_collector = self._make_collector(self._root)
+        schedule = self._schedule_collector.make_schedule(
+            n_days, day_duration_s, profiles
+        )
+        # The schedule collector also owns the generated-campaign counter,
+        # so runner and serial collector derive identical seed bases.
+        base = self._schedule_collector.next_generated_base()
+        tasks = [(self._root, day, base) for day in schedule.days]
+        days = self._collect_days(tasks)
+        return CampaignRecording(days=days, layout=self._layout)
+
+    def run_many(
+        self, schedules: Sequence[CampaignSchedule]
+    ) -> List[CampaignRecording]:
+        """Execute several independent campaigns concurrently.
+
+        Campaign ``i`` uses the child seed ``(CAMPAIGN_DOMAIN, i)`` of the
+        runner's root, so results are reproducible and independent of the
+        execution order; all days of all campaigns share one worker pool.
+        """
+        tasks = []
+        spans = []
+        for i, schedule in enumerate(schedules):
+            require_unique_day_indices(schedule.days)
+            seed_i = derive_seed_sequence(self._root, CAMPAIGN_DOMAIN, i)
+            start = len(tasks)
+            tasks.extend((seed_i, day, None) for day in schedule.days)
+            spans.append((start, len(tasks)))
+        days = self._collect_days(tasks)
+        return [
+            CampaignRecording(days=days[a:b], layout=self._layout)
+            for a, b in spans
+        ]
+
+    def campaign_seed(self, index: int) -> np.random.SeedSequence:
+        """The derived root seed of campaign ``index`` in :meth:`run_many`."""
+        return derive_seed_sequence(self._root, CAMPAIGN_DOMAIN, index)
+
+    def collector_for(self, index: Optional[int] = None) -> CampaignCollector:
+        """A serial collector matching this runner (or one of its campaigns).
+
+        Useful to cross-check runner output against the serial engine, or
+        to continue working (e.g. ``collect_generated``) with the same
+        stream state conventions.
+        """
+        seed_seq = self._root if index is None else self.campaign_seed(index)
+        return self._make_collector(seed_seq)

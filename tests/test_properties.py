@@ -10,8 +10,13 @@ from repro.ml.kde import GaussianKDE
 from repro.ml.metrics import DetectionCounts
 from repro.ml.mutual_info import quantize, relative_mutual_information
 from repro.mobility.events import EventKind, GroundTruthEvent
-from repro.mobility.trajectory import walk_through
+from repro.mobility.trajectory import (
+    departure_trajectory,
+    entry_trajectory,
+    walk_through,
+)
 from repro.radio.geometry import Point, excess_path_length, point_segment_distance
+from repro.radio.office import paper_office
 from repro.workstation.activity import InputActivityModel
 
 finite_floats = st.floats(
@@ -61,6 +66,79 @@ class TestGeometryProperties:
         ys = [p.y for p in points]
         assert min(xs) - 1e-6 <= pos.x <= max(xs) + 1e-6
         assert min(ys) - 1e-6 <= pos.y <= max(ys) + 1e-6
+
+
+class TestBatchTrajectoryProperties:
+    """Invariants of the batch-evaluation trajectory APIs."""
+
+    @given(
+        waypoints=st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=6
+        ),
+        speed=st.floats(min_value=0.3, max_value=3.0),
+        pause=st.floats(min_value=0.0, max_value=5.0),
+        times=st.lists(
+            st.floats(min_value=-20.0, max_value=600.0), min_size=1, max_size=40
+        ),
+    )
+    def test_positions_at_matches_position_at_pointwise(
+        self, waypoints, speed, pause, times
+    ):
+        points = [Point(x, y) for x, y in waypoints]
+        pauses = [pause] + [0.0] * (len(points) - 2)
+        traj = walk_through(points, start_time=3.0, speed_mps=speed, pauses=pauses)
+        block = traj.positions_at(np.asarray(times))
+        for i, t in enumerate(times):
+            pos = traj.position_at(t)
+            # Bitwise equality: both paths share the same segment lookup
+            # and interpolation arithmetic.
+            assert block[i, 0] == pos.x
+            assert block[i, 1] == pos.y
+
+    @given(
+        sx=st.floats(min_value=0.3, max_value=5.7),
+        sy=st.floats(min_value=0.3, max_value=2.7),
+        entry=st.booleans(),
+        start=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_departure_and_entry_trajectories_stay_inside_office(
+        self, sx, sy, entry, start
+    ):
+        layout = paper_office()
+        seat = Point(sx, sy)
+        if entry:
+            traj = entry_trajectory(layout.door, seat, start)
+        else:
+            traj = departure_trajectory(seat, layout.door, start)
+        grid = np.linspace(start - 2.0, traj.end_time + 2.0, 64)
+        xy = traj.positions_at(grid)
+        # Piecewise-linear interpolation through in-office waypoints can
+        # never leave the office bounding box.
+        assert np.all(xy[:, 0] >= -1e-9) and np.all(xy[:, 0] <= layout.width + 1e-9)
+        assert np.all(xy[:, 1] >= -1e-9) and np.all(xy[:, 1] <= layout.height + 1e-9)
+
+    @given(
+        waypoints=st.lists(
+            st.tuples(finite_floats, finite_floats), min_size=2, max_size=6
+        ),
+        speed=st.floats(min_value=0.3, max_value=3.0),
+        dt=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_grid_sampled_speeds_nonnegative_and_bounded(
+        self, waypoints, speed, dt
+    ):
+        points = [Point(x, y) for x, y in waypoints]
+        traj = walk_through(points, start_time=0.0, speed_mps=speed)
+        grid = np.arange(0.0, traj.end_time + 2.0 * dt, dt)
+        xy = traj.positions_at(grid)
+        dist = np.hypot(np.diff(xy[:, 0]), np.diff(xy[:, 1]))
+        speeds = dist / dt
+        assert np.all(speeds >= 0.0)
+        # The walker moves at constant leg speed, so any chord between two
+        # grid instants is at most speed * dt long (triangle inequality).
+        assert np.all(speeds <= speed * (1.0 + 1e-9) + 1e-12)
 
 
 class TestFeatureProperties:
