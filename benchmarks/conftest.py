@@ -45,6 +45,15 @@ def pytest_addoption(parser):
         "benchmark; CI smoke runs pass a tiny value (overridden to the "
         "full 8-hour day by --paper-scale)",
     )
+    parser.addoption(
+        "--analysis-day-s",
+        action="store",
+        type=float,
+        default=1200.0,
+        help="simulated day length (seconds) of the analysis throughput "
+        "benchmark; CI smoke runs pass a smaller value (overridden to the "
+        "full 8-hour day by --paper-scale)",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,193 @@
+"""Benchmark: columnar analysis engine throughput vs. the scalar references.
+
+Measures the offline analysis fast paths of PR 2 against their retained
+per-observation references, asserts bit-identical output, and fails loudly
+if a fast path loses its edge:
+
+* ``evaluate_md_grid`` (shared rolling feature matrix + lockstep profile
+  engine, all sensor counts and days pooled) vs. per-count
+  ``evaluate_md_scalar`` — the Table III / Figure 7 path.  Gate:
+  >= 2.5x.  The ceiling here is structural: ~60 % of even the *scalar*
+  path is erf evaluations inside the KDE percentile bisections, work that
+  is identical in both paths by the bit-identity contract; the columnar
+  engine eliminates everything else (per-count rolling recompute, the
+  per-observation Python loop, per-call numpy dispatch), which lands the
+  measured ratio around 3x.
+* ``FadewichSystem.replay_day`` (array replay: columnar std-sums,
+  lockstep profile, precomputed idle/input arrays) vs.
+  ``replay_day_scalar`` (dict-per-step ``process_sample`` loop) — the
+  Figure 9 / online-replay path.  Gate: >= 5x (typically 10-20x: the
+  scalar loop pays per-stream ``np.std`` at every step).
+* ``cross_validated_predictions`` vs. its scalar reference — reported for
+  inspection only; both sides are dominated by the same SVM fits.
+
+Day length defaults to two 20-minute days (``--analysis-day-s`` to
+override); ``--paper-scale`` runs full 8-hour days instead.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.campaign import CampaignScale, collect_campaign
+from repro.core.config import FadewichConfig
+from repro.core.evaluation import (
+    build_sample_dataset,
+    cross_validated_predictions,
+    cross_validated_predictions_scalar,
+    evaluate_md,
+    evaluate_md_grid,
+    evaluate_md_scalar,
+    sensor_subset,
+)
+from repro.core.system import FadewichSystem
+
+#: Required speedup of the pooled MD grid over the per-count scalar sweep.
+MIN_MD_SPEEDUP = 2.5
+
+#: Required speedup of the array replay over the per-sample reference.
+MIN_REPLAY_SPEEDUP = 5.0
+
+
+def _analysis_scale(request) -> CampaignScale:
+    if request.config.getoption("--paper-scale"):
+        day_s = 8 * 3600.0
+    else:
+        day_s = float(request.config.getoption("--analysis-day-s"))
+    return CampaignScale(
+        name="analysis-bench",
+        n_days=2,
+        day_duration_s=day_s,
+        departures_per_hour=6.5,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=2.0,
+    )
+
+
+def _bench_campaign(request):
+    seed = request.config.getoption("--campaign-seed")
+    return collect_campaign(seed=seed, scale=_analysis_scale(request))
+
+
+def test_md_grid_throughput(request):
+    recording = _bench_campaign(request)
+    config = FadewichConfig()
+    counts = list(range(3, len(recording.layout.sensors) + 1))
+
+    # Warm both paths once on the first count (allocator, caches).
+    evaluate_md(recording, config, sensor_subset(recording.layout.sensor_ids, 3))
+    evaluate_md_scalar(
+        recording, config, sensor_subset(recording.layout.sensor_ids, 3)
+    )
+
+    t0 = time.perf_counter()
+    grid = evaluate_md_grid(recording, config, counts)
+    t_grid = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = {
+        n: evaluate_md_scalar(
+            recording, config, sensor_subset(recording.layout.sensor_ids, n)
+        )
+        for n in counts
+    }
+    t_scalar = time.perf_counter() - t0
+
+    speedup = t_scalar / t_grid
+    n_obs = grid[counts[0]].days[0].md_result.times.shape[0]
+    print(
+        f"\nMD grid throughput ({recording.n_days} days x {n_obs} obs x "
+        f"{len(counts)} sensor counts):\n"
+        f"  scalar sweep: {t_scalar:8.3f}s\n"
+        f"  pooled grid:  {t_grid:8.3f}s\n"
+        f"  speedup: {speedup:.1f}x (required >= {MIN_MD_SPEEDUP:.1f}x)"
+    )
+
+    # The two paths must agree bit for bit...
+    for n in counts:
+        assert grid[n].counts == scalar[n].counts
+        for day_g, day_s in zip(grid[n].days, scalar[n].days):
+            assert day_g.md_result.windows == day_s.md_result.windows
+            np.testing.assert_array_equal(
+                day_g.md_result.threshold_trace, day_s.md_result.threshold_trace
+            )
+    # ...and the grid must stay decisively faster.
+    assert speedup >= MIN_MD_SPEEDUP
+
+
+def test_replay_throughput(request):
+    recording = _bench_campaign(request)
+    config = FadewichConfig()
+    layout = recording.layout
+
+    evaluation = evaluate_md(recording, config, layout.sensor_ids)
+    re_module, dataset = build_sample_dataset(evaluation, config, random_state=0)
+
+    def make_system():
+        system = FadewichSystem(
+            stream_ids=re_module.stream_ids,
+            workstation_ids=layout.workstation_ids,
+            config=config,
+        )
+        if len(dataset):
+            system.train(dataset)
+        return system
+
+    day = recording.days[-1]
+    # Warm-up on a short prefix of the day.
+    warm = recording.days[0]
+    make_system().replay_day(warm)
+    make_system().replay_day_scalar(warm)
+
+    t0 = time.perf_counter()
+    batch = make_system().replay_day(day)
+    t_batch = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = make_system().replay_day_scalar(day)
+    t_scalar = time.perf_counter() - t0
+
+    n_steps = day.trace.n_samples
+    n_streams = len(re_module.stream_ids)
+    speedup = t_scalar / t_batch
+    print(
+        f"\nreplay throughput ({n_steps} steps x {n_streams} streams):\n"
+        f"  scalar: {t_scalar:8.3f}s  ({n_steps * n_streams / t_scalar:12,.0f} samples/s)\n"
+        f"  array:  {t_batch:8.3f}s  ({n_steps * n_streams / t_batch:12,.0f} samples/s)\n"
+        f"  speedup: {speedup:.1f}x (required >= {MIN_REPLAY_SPEEDUP:.0f}x)"
+    )
+
+    assert batch.actions == scalar.actions
+    assert batch.final_states == scalar.final_states
+    assert batch.deauthentications == scalar.deauthentications
+    assert batch.alerts == scalar.alerts
+    assert batch.screensavers == scalar.screensavers
+    assert speedup >= MIN_REPLAY_SPEEDUP
+
+
+def test_cv_throughput(request):
+    """Report (no gate): both CV paths are dominated by the same SVM fits."""
+    recording = _bench_campaign(request)
+    config = FadewichConfig()
+    evaluation = evaluate_md(recording, config, recording.layout.sensor_ids)
+    re_module, dataset = build_sample_dataset(evaluation, config, random_state=0)
+
+    t0 = time.perf_counter()
+    vectorized = cross_validated_predictions(
+        re_module, dataset, rng=np.random.default_rng(0)
+    )
+    t_vec = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = cross_validated_predictions_scalar(
+        re_module, dataset, rng=np.random.default_rng(0)
+    )
+    t_scalar = time.perf_counter() - t0
+
+    print(
+        f"\nCV throughput ({len(dataset)} samples): "
+        f"scalar {t_scalar:.3f}s, vectorized {t_vec:.3f}s "
+        f"({t_scalar / max(t_vec, 1e-9):.2f}x)"
+    )
+    assert vectorized == scalar

@@ -35,7 +35,10 @@ from .simulation.runner import CampaignRunner
 # 2.0.0: breaking — the seeding scheme moved to per-purpose SeedSequence
 # streams (same seed now yields different, but still deterministic,
 # campaigns than 1.x) and replay_day raises ValueError on empty traces.
-__version__ = "2.0.0"
+# 2.1.0: columnar analysis engine — evaluate_md_grid / array replay_day /
+# vectorised CV, bit-identical to the retained scalar references
+# (evaluate_md_scalar, replay_day_scalar, cross_validated_predictions_scalar).
+__version__ = "2.1.0"
 
 __all__ = [
     "CampaignCollector",

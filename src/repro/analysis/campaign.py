@@ -25,11 +25,12 @@ import numpy as np
 
 from ..core.config import FadewichConfig
 from ..core.evaluation import (
+    CampaignStdFeatures,
     MDEvaluation,
     build_sample_dataset,
     cross_validated_predictions,
     departure_outcomes,
-    evaluate_md,
+    evaluate_md_grid,
     sensor_subset,
 )
 from ..core.radio_env import RadioEnvironment
@@ -151,10 +152,15 @@ class AnalysisContext:
         self.config = config if config is not None else FadewichConfig()
         self.layout = recording.layout
         self._seed = seed
-        self._md_cache: Dict[int, MDEvaluation] = {}
-        self._dataset_cache: Dict[int, Tuple[RadioEnvironment, SampleDataset]] = {}
-        self._prediction_cache: Dict[int, Dict[int, str]] = {}
-        self._outcome_cache: Dict[int, List[DeauthOutcome]] = {}
+        # Every cache is keyed on (sensor subset, config): ``config`` is a
+        # public attribute, and a bare ``n_sensors`` key would keep serving
+        # results computed under a previous configuration (regression test
+        # in tests/test_analysis_equivalence.py).
+        self._md_cache: Dict[Tuple, MDEvaluation] = {}
+        self._dataset_cache: Dict[Tuple, Tuple[RadioEnvironment, SampleDataset]] = {}
+        self._prediction_cache: Dict[Tuple, Dict[int, str]] = {}
+        self._outcome_cache: Dict[Tuple, List[DeauthOutcome]] = {}
+        self._features_cache: Dict[FadewichConfig, CampaignStdFeatures] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -169,47 +175,79 @@ class AnalysisContext:
         """The first ``n_sensors`` sensor ids of the deployment."""
         return sensor_subset(self.all_sensor_ids, n_sensors)
 
+    def _key(self, n_sensors: int) -> Tuple:
+        return (tuple(self.sensor_ids(n_sensors)), self.config)
+
+    def _features(self) -> CampaignStdFeatures:
+        """The shared rolling feature matrix of the current config, cached."""
+        if self.config not in self._features_cache:
+            self._features_cache[self.config] = CampaignStdFeatures(
+                self.recording, self.config
+            )
+        return self._features_cache[self.config]
+
     # ------------------------------------------------------------------ #
+    def md_evaluations(
+        self, sensor_counts: Sequence[int]
+    ) -> Dict[int, MDEvaluation]:
+        """MD evaluations for several sensor counts, batch-computed.
+
+        Uncached counts are evaluated together through
+        :func:`~repro.core.evaluation.evaluate_md_grid`, so the rolling
+        feature matrix is shared and all profile chains advance in
+        lockstep.
+        """
+        counts = [int(n) for n in sensor_counts]
+        missing = list(
+            dict.fromkeys(n for n in counts if self._key(n) not in self._md_cache)
+        )
+        if missing:
+            computed = evaluate_md_grid(
+                self.recording, self.config, missing, features=self._features()
+            )
+            for n, evaluation in computed.items():
+                self._md_cache[self._key(n)] = evaluation
+        return {n: self._md_cache[self._key(n)] for n in counts}
+
     def md_evaluation(self, n_sensors: int) -> MDEvaluation:
         """MD evaluation (TP/FP/FN and windows) for a sensor count, cached."""
-        if n_sensors not in self._md_cache:
-            self._md_cache[n_sensors] = evaluate_md(
-                self.recording, self.config, self.sensor_ids(n_sensors)
-            )
-        return self._md_cache[n_sensors]
+        return self.md_evaluations([n_sensors])[n_sensors]
 
     def sample_dataset(
         self, n_sensors: int
     ) -> Tuple[RadioEnvironment, SampleDataset]:
         """The labelled RE dataset of a sensor count, cached."""
-        if n_sensors not in self._dataset_cache:
-            self._dataset_cache[n_sensors] = build_sample_dataset(
+        key = self._key(n_sensors)
+        if key not in self._dataset_cache:
+            self._dataset_cache[key] = build_sample_dataset(
                 self.md_evaluation(n_sensors), self.config, random_state=self._seed
             )
-        return self._dataset_cache[n_sensors]
+        return self._dataset_cache[key]
 
     def re_predictions(self, n_sensors: int) -> Dict[int, str]:
         """Out-of-fold RE predictions per sample index, cached."""
-        if n_sensors not in self._prediction_cache:
+        key = self._key(n_sensors)
+        if key not in self._prediction_cache:
             re_module, dataset = self.sample_dataset(n_sensors)
-            self._prediction_cache[n_sensors] = cross_validated_predictions(
+            self._prediction_cache[key] = cross_validated_predictions(
                 re_module,
                 dataset,
                 rng=np.random.default_rng(self._seed),
             )
-        return self._prediction_cache[n_sensors]
+        return self._prediction_cache[key]
 
     def outcomes(self, n_sensors: int) -> List[DeauthOutcome]:
         """Per-departure deauthentication outcomes, cached."""
-        if n_sensors not in self._outcome_cache:
+        key = self._key(n_sensors)
+        if key not in self._outcome_cache:
             _, dataset = self.sample_dataset(n_sensors)
-            self._outcome_cache[n_sensors] = departure_outcomes(
+            self._outcome_cache[key] = departure_outcomes(
                 self.md_evaluation(n_sensors),
                 dataset,
                 self.re_predictions(n_sensors),
                 self.config,
             )
-        return self._outcome_cache[n_sensors]
+        return self._outcome_cache[key]
 
     def re_accuracy(self, n_sensors: int) -> float:
         """Out-of-fold classification accuracy of RE for a sensor count."""

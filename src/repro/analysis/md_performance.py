@@ -45,11 +45,17 @@ class MDTableRow:
 def compute_md_table(
     context: AnalysisContext, sensor_counts: Optional[Sequence[int]] = None
 ) -> List[MDTableRow]:
-    """Compute Table III rows for every sensor count."""
-    rows = []
-    for n in context.sensor_sweep(sensor_counts):
-        rows.append(MDTableRow(n_sensors=n, counts=context.md_evaluation(n).counts))
-    return rows
+    """Compute Table III rows for every sensor count.
+
+    The whole sweep is evaluated in one batch
+    (:meth:`~repro.analysis.campaign.AnalysisContext.md_evaluations`), so
+    the rolling feature matrix is shared across counts.
+    """
+    counts = context.sensor_sweep(sensor_counts)
+    evaluations = context.md_evaluations(counts)
+    return [
+        MDTableRow(n_sensors=n, counts=evaluations[n].counts) for n in counts
+    ]
 
 
 def render_md_table(rows: Sequence[MDTableRow]) -> str:
@@ -103,10 +109,10 @@ def compute_fmeasure_curves(
         t_deltas = np.arange(2.0, 8.01, 0.5)
     curves = []
     slack = context.config.true_window_slack_s
-    for n in sensor_counts:
-        if n > context.max_sensors:
-            continue
-        evaluation = context.md_evaluation(n)
+    plotted = [n for n in sensor_counts if n <= context.max_sensors]
+    evaluations = context.md_evaluations(plotted)
+    for n in plotted:
+        evaluation = evaluations[n]
         values = []
         for t_delta in t_deltas:
             rescored = evaluation.rematch(float(t_delta), slack)

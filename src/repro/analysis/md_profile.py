@@ -13,7 +13,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..core.config import FadewichConfig
-from ..core.movement import rolling_std_sum
+from ..core.movement import rolling_std_matrix
 from ..core.windows import true_window_for_event
 from ..ml.kde import GaussianKDE
 from ..mobility.events import EventKind
@@ -65,7 +65,10 @@ def compute_std_profile(
     trace = day.trace
     rate = 1.0 / trace.sample_interval
     window_samples = max(int(round(cfg.md.std_window_s * rate)), 2)
-    times, std_sums = rolling_std_sum(trace, window_samples)
+    # The per-stream rolling matrix is the same shared feature matrix the
+    # evaluation pipeline slices; summing its columns gives the s_t series.
+    times, std_matrix = rolling_std_matrix(trace, window_samples)
+    std_sums = std_matrix.sum(axis=1)
 
     # "Walking" samples are those inside the actual movement interval (from
     # the moment the user starts moving to the moment they reach the door or

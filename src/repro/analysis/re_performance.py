@@ -78,9 +78,11 @@ def compute_learning_curves(
         The paper's 5-fold cross-validation repeated 10 times.
     """
     curves: List[AccuracyCurve] = []
-    for n in sensor_counts:
-        if n > context.max_sensors:
-            continue
+    plotted = [n for n in sensor_counts if n <= context.max_sensors]
+    # Warm the MD cache for the whole sweep in one lockstep batch before
+    # the per-count dataset extraction walks it.
+    context.md_evaluations(plotted)
+    for n in plotted:
         re_module, dataset = context.sample_dataset(n)
         if len(dataset) < n_folds:
             continue

@@ -13,6 +13,31 @@ chain, which mirrors the paper's Section VII-C procedure:
    deauthentication outcomes (cases A / B / C).
 
 This module implements those steps once; the analysis modules compose them.
+
+Scalar references and the columnar fast paths
+---------------------------------------------
+
+Every hot step of the pipeline exists twice, under a strict contract:
+
+* :func:`evaluate_md` / :func:`evaluate_md_grid` are the columnar fast
+  paths: one shared rolling-window feature matrix per recorded day
+  (:class:`CampaignStdFeatures`), sliced per sensor subset and pushed
+  through the lockstep profile engine
+  (:func:`~repro.core.movement.run_profile_grid`), all sensor counts and
+  days advancing together.  :func:`evaluate_md_scalar` is the retained
+  per-observation reference: it restricts the trace, recomputes the
+  rolling statistics and drives
+  :func:`~repro.core.movement.detect_offline_scalar` per sensor count.
+* :func:`cross_validated_predictions` builds its folds as arrays
+  (:func:`~repro.ml.validation.stratified_fold_assignments`) and fits on
+  contiguous index views; :func:`cross_validated_predictions_scalar` is
+  the retained per-fold-list reference.
+
+The fast paths must stay **bit-identical** to their scalar references —
+``tests/test_analysis_equivalence.py`` pins this across seeds, layouts and
+sensor counts, and ``tests/test_golden_analysis.py`` pins the paper-facing
+numbers they produce.  Change either side only with those suites green (or
+consciously re-pinned in the same commit).
 """
 
 from __future__ import annotations
@@ -24,13 +49,20 @@ import numpy as np
 
 from ..mobility.events import EventKind, GroundTruthEvent
 from ..ml.metrics import DetectionCounts
-from ..ml.validation import stratified_kfold_indices
+from ..ml.validation import stratified_fold_assignments, stratified_kfold_indices
 from ..radio.links import enumerate_stream_ids
 from ..radio.trace import RssiTrace
 from ..simulation.collector import CampaignRecording, DayRecording
 from ..simulation.dataset import LabeledSample, SampleDataset
 from .config import FadewichConfig
-from .movement import OfflineMDResult, detect_offline
+from .movement import (
+    OfflineMDResult,
+    detect_offline,
+    detect_offline_scalar,
+    rolling_std_matrix,
+    run_profile_grid,
+    variation_windows_from_flags,
+)
 from .radio_env import RadioEnvironment
 from .security import DeauthOutcome, classify_outcome
 from .windows import MatchResult, VariationWindow, match_windows
@@ -40,9 +72,13 @@ __all__ = [
     "streams_for_sensors",
     "DayEvaluation",
     "MDEvaluation",
+    "CampaignStdFeatures",
     "evaluate_md",
+    "evaluate_md_scalar",
+    "evaluate_md_grid",
     "build_sample_dataset",
     "cross_validated_predictions",
+    "cross_validated_predictions_scalar",
     "departure_outcomes",
 ]
 
@@ -126,24 +162,209 @@ class MDEvaluation:
         )
 
 
+class CampaignStdFeatures:
+    """The shared rolling-window feature matrix of a recorded campaign.
+
+    For every day, the per-stream rolling standard deviations over *all*
+    recorded streams are computed once
+    (:func:`~repro.core.movement.rolling_std_matrix`); any sensor subset's
+    ``s_t`` series is then a column-subset sum — bit-identical to
+    recomputing the rolling statistics on the restricted trace, at a
+    fraction of the cost.  :func:`evaluate_md` and :func:`evaluate_md_grid`
+    share one instance across sensor counts.
+    """
+
+    def __init__(self, recording: CampaignRecording, config: FadewichConfig) -> None:
+        self.recording = recording
+        self.config = config
+        self._days: Dict[int, Tuple[np.ndarray, np.ndarray, Dict[str, int]]] = {}
+
+    def day_matrix(
+        self, day: DayRecording
+    ) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+        """``(times, std_matrix, column_of_stream)`` of one day, cached."""
+        if day.day_index not in self._days:
+            trace = day.trace
+            rate = 1.0 / trace.sample_interval
+            window_samples = max(
+                int(round(self.config.md.std_window_s * rate)), 2
+            )
+            times, matrix = rolling_std_matrix(trace, window_samples)
+            columns = {sid: j for j, sid in enumerate(trace.stream_ids)}
+            self._days[day.day_index] = (times, matrix, columns)
+        return self._days[day.day_index]
+
+    def std_sums(
+        self, day: DayRecording, stream_ids: Sequence[str]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(times, s_t)`` series of one day for a stream subset."""
+        times, matrix, columns = self.day_matrix(day)
+        cols = [columns[sid] for sid in stream_ids]
+        # The contiguous copy makes the row reduction use the same memory
+        # layout (hence the same summation order) as the restricted-trace
+        # computation it replaces.
+        return times, np.ascontiguousarray(matrix[:, cols]).sum(axis=1)
+
+
+def _scored_events(day: DayRecording) -> List[GroundTruthEvent]:
+    return [
+        e for e in day.events if e.kind in (EventKind.DEPARTURE, EventKind.ENTRY)
+    ]
+
+
+def _profile_init_samples(times: np.ndarray, config: FadewichConfig) -> int:
+    if times.shape[0] < 2:
+        raise ValueError("not enough samples for offline MD")
+    rate = 1.0 / float(np.median(np.diff(times)))
+    return max(int(round(config.md.profile_init_s * rate)), 2)
+
+
+def _evaluate_md_sets(
+    recording: CampaignRecording,
+    config: FadewichConfig,
+    subsets: Sequence[Tuple[int, List[str]]],
+    features: Optional[CampaignStdFeatures] = None,
+) -> Dict[int, MDEvaluation]:
+    """Columnar MD evaluation of several sensor subsets at once.
+
+    All subsets of all days advance through the batch profile engine in
+    lockstep: one pooled ``(n_obs, n_days * n_subsets)`` std-sum matrix per
+    group of equally-shaped days.
+    """
+    if not subsets:
+        return {}
+    if features is None:
+        features = CampaignStdFeatures(recording, config)
+    evaluations = {
+        key: MDEvaluation(sensor_ids=tuple(ids), t_delta_s=config.t_delta_s)
+        for key, ids in subsets
+    }
+    stream_sets = {key: streams_for_sensors(ids) for key, ids in subsets}
+
+    # Per day: the pooled std-sum columns (one per subset) and metadata.
+    day_inputs = []
+    for day in recording.days:
+        columns = []
+        times = None
+        for key, _ in subsets:
+            times, sums = features.std_sums(day, stream_sets[key])
+            columns.append(sums)
+        stacked = np.column_stack(columns)
+        day_inputs.append(
+            (day, times, stacked, _profile_init_samples(times, config))
+        )
+
+    # Group equally-shaped days so their profile chains run in one lockstep
+    # call, then split the pooled grid back per day.
+    groups: Dict[Tuple[int, int], List[int]] = {}
+    for i, (_, times, stacked, init_samples) in enumerate(day_inputs):
+        groups.setdefault((stacked.shape[0], init_samples), []).append(i)
+    n_subsets = len(subsets)
+    grids: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(day_inputs)
+    for (_, init_samples), indices in groups.items():
+        pooled = np.hstack([day_inputs[i][2] for i in indices])
+        result = run_profile_grid(pooled, config.md, init_samples)
+        for position, i in enumerate(indices):
+            block = slice(position * n_subsets, (position + 1) * n_subsets)
+            grids[i] = (result.decisions[:, block], result.thresholds[:, block])
+
+    for (day, times, stacked, _), grid in zip(day_inputs, grids):
+        assert grid is not None
+        decisions, thresholds = grid
+        scored = _scored_events(day)
+        for j, (key, _) in enumerate(subsets):
+            md_result = OfflineMDResult(
+                times=times,
+                std_sums=np.ascontiguousarray(stacked[:, j]),
+                windows=variation_windows_from_flags(
+                    times, decisions[:, j] == 1, config.md.merge_gap_s
+                ),
+                threshold_trace=np.ascontiguousarray(thresholds[:, j]),
+            )
+            match = match_windows(
+                md_result.windows,
+                scored,
+                config.true_window_slack_s,
+                min_duration_s=config.t_delta_s,
+            )
+            evaluations[key].days.append(
+                DayEvaluation(
+                    day_index=day.day_index,
+                    trace=day.trace.restricted_to(stream_sets[key]),
+                    md_result=md_result,
+                    match=match,
+                    events=list(scored),
+                )
+            )
+    return evaluations
+
+
 def evaluate_md(
     recording: CampaignRecording,
     config: FadewichConfig,
     sensor_ids: Sequence[str],
+    *,
+    features: Optional[CampaignStdFeatures] = None,
 ) -> MDEvaluation:
-    """Run offline MD over every recorded day for one sensor subset."""
+    """Run offline MD over every recorded day for one sensor subset.
+
+    This is the columnar fast path (bit-identical to
+    :func:`evaluate_md_scalar`).  Pass a shared :class:`CampaignStdFeatures`
+    to reuse the rolling feature matrix across calls; sweeps over sensor
+    counts should prefer :func:`evaluate_md_grid`, which additionally runs
+    all counts' profile chains in lockstep.
+    """
+    return _evaluate_md_sets(
+        recording, config, [(0, list(sensor_ids))], features
+    )[0]
+
+
+def evaluate_md_grid(
+    recording: CampaignRecording,
+    config: FadewichConfig,
+    sensor_counts: Optional[Sequence[int]] = None,
+    *,
+    features: Optional[CampaignStdFeatures] = None,
+) -> Dict[int, MDEvaluation]:
+    """Batch MD evaluation over a sweep of sensor counts.
+
+    The paper's Table III / Figures 7-10 all sweep the number of sensors;
+    this entry point computes the whole sweep at once: the rolling feature
+    matrix of each day is computed once and sliced per count, and every
+    (day, count) profile chain advances through the lockstep batch engine
+    together.  Returns ``{n_sensors: MDEvaluation}``, each value
+    bit-identical to ``evaluate_md_scalar(recording, config,
+    sensor_subset(ids, n))``.
+    """
+    all_ids = list(recording.layout.sensor_ids)
+    if sensor_counts is None:
+        sensor_counts = range(3, len(all_ids) + 1)
+    # Dedupe while keeping order: a duplicated count must not append its
+    # days (and hence its counts) twice to one evaluation.
+    counts = list(dict.fromkeys(int(n) for n in sensor_counts))
+    subsets = [(n, sensor_subset(all_ids, n)) for n in counts]
+    return _evaluate_md_sets(recording, config, subsets, features)
+
+
+def evaluate_md_scalar(
+    recording: CampaignRecording,
+    config: FadewichConfig,
+    sensor_ids: Sequence[str],
+) -> MDEvaluation:
+    """Per-observation reference implementation of :func:`evaluate_md`.
+
+    Restricts the trace and recomputes the rolling statistics per call and
+    drives the normal profile one value at a time — the semantics reference
+    the equivalence tests pin the columnar paths against.
+    """
     stream_ids = streams_for_sensors(sensor_ids)
     evaluation = MDEvaluation(
         sensor_ids=tuple(sensor_ids), t_delta_s=config.t_delta_s
     )
     for day in recording.days:
         trace = day.trace.restricted_to(stream_ids)
-        md_result = detect_offline(trace, config.md)
-        scored_events = [
-            e
-            for e in day.events
-            if e.kind in (EventKind.DEPARTURE, EventKind.ENTRY)
-        ]
+        md_result = detect_offline_scalar(trace, config.md)
+        scored_events = _scored_events(day)
         match = match_windows(
             md_result.windows,
             scored_events,
@@ -209,7 +430,49 @@ def cross_validated_predictions(
     stratified folds; for each fold the classifier is trained on the other
     folds and predicts the held-out samples.  Returns a mapping from sample
     index (position in ``dataset.samples``) to the predicted label.
+
+    Columnar fast path: the fold memberships are one assignment array
+    (:func:`~repro.ml.validation.stratified_fold_assignments`), each fold's
+    train/test sets are boolean-mask index views, and the out-of-fold
+    predictions fill one preallocated vector.  Bit-identical to
+    :func:`cross_validated_predictions_scalar`.
     """
+    if len(dataset) == 0:
+        return {}
+    if rng is None:
+        rng = np.random.default_rng()
+    X, y = dataset.to_arrays()
+    n_classes = np.unique(y).shape[0]
+    if len(dataset) < n_folds or n_classes < 2:
+        # Too few samples to cross-validate: train and predict in-sample
+        # (the small-sensor-count regimes of the paper hit this too).
+        fitted = re_module.clone_untrained().fit_arrays(X, y)
+        return dict(enumerate(fitted.classify_many(X)))
+    assignments = stratified_fold_assignments(y, n_folds, rng)
+    predicted = np.empty(y.shape[0], dtype=object)
+    for fold in range(n_folds):
+        test_mask = assignments == fold
+        train_idx = np.flatnonzero(~test_mask)
+        test_idx = np.flatnonzero(test_mask)
+        if np.unique(y[train_idx]).shape[0] < 2 or train_idx.size == 0:
+            fallback = str(np.unique(y[train_idx])[0]) if train_idx.size else str(y[0])
+            predicted[test_idx] = fallback
+            continue
+        fold_re = re_module.clone_untrained().fit_arrays(X[train_idx], y[train_idx])
+        predicted[test_idx] = fold_re.classify_many(X[test_idx])
+    return {i: str(label) for i, label in enumerate(predicted)}
+
+
+def cross_validated_predictions_scalar(
+    re_module: RadioEnvironment,
+    dataset: SampleDataset,
+    *,
+    n_folds: int = 5,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, str]:
+    """Per-fold-list reference implementation of
+    :func:`cross_validated_predictions` (the equivalence tests pin the
+    columnar path against it)."""
     if len(dataset) == 0:
         return {}
     if rng is None:
@@ -218,8 +481,6 @@ def cross_validated_predictions(
     predictions: Dict[int, str] = {}
     n_classes = np.unique(y).shape[0]
     if len(dataset) < n_folds or n_classes < 2:
-        # Too few samples to cross-validate: train and predict in-sample
-        # (the small-sensor-count regimes of the paper hit this too).
         fitted = re_module.clone_untrained().fit_arrays(X, y)
         for i, label in enumerate(fitted.classify_many(X)):
             predictions[i] = label

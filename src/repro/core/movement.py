@@ -12,12 +12,29 @@ changes of the radio environment.
 Contiguous anomalous reports form *variation windows*; windows lasting at
 least ``t_delta`` trigger system decisions (handled by the controller).
 
-Two entry points:
+Entry points:
 
 * :class:`MovementDetector` — the online, sample-by-sample detector used by
   the live system,
-* :func:`detect_offline` — a vectorised offline run over a recorded
-  :class:`~repro.radio.trace.RssiTrace`, used by the evaluation harness.
+* :func:`detect_offline` — a columnar offline run over a recorded
+  :class:`~repro.radio.trace.RssiTrace`, used by the evaluation harness,
+* :func:`detect_offline_scalar` — the retained per-observation reference
+  implementation of exactly the same contract,
+* :func:`run_profile_grid` — the batch profile engine advancing many
+  independent ``s_t`` columns (sensor subsets, days) in lockstep.
+
+Scalar reference and batch path
+-------------------------------
+
+:class:`NormalProfile` (driven one observation at a time) is the semantics
+reference for Algorithm 1's profile.  :func:`run_profile_grid` replays the
+same arithmetic column-by-column over whole arrays: identical KDE data
+windows, identical Scott bandwidths, and a lockstep replication of
+:meth:`~repro.ml.kde.GaussianKDE.percentile`'s bracketed bisection, so its
+decisions and thresholds are **bit-for-bit identical** to feeding
+:meth:`NormalProfile.observe` the same values (see
+``tests/test_analysis_equivalence.py``).  Any change to one side must keep
+the other in sync.
 """
 
 from __future__ import annotations
@@ -26,6 +43,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+from scipy.special import erf
 
 from ..ml.kde import GaussianKDE
 from ..radio.trace import RssiTrace, StreamBuffer
@@ -37,8 +56,15 @@ __all__ = [
     "NormalProfile",
     "MovementDetector",
     "OfflineMDResult",
+    "ProfileGridResult",
     "rolling_std_sum",
+    "rolling_std_matrix",
+    "online_std_sum_series",
+    "run_profile_grid",
+    "variation_windows_from_flags",
+    "window_duration_series",
     "detect_offline",
+    "detect_offline_scalar",
 ]
 
 
@@ -289,13 +315,20 @@ class MovementDetector:
 
 
 # ---------------------------------------------------------------------- #
-# Offline (vectorised) path
+# Offline (columnar) path
 # ---------------------------------------------------------------------- #
-def rolling_std_sum(trace: RssiTrace, window_samples: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Vectorised ``s_t`` series of a recorded trace.
+def rolling_std_matrix(
+    trace: RssiTrace, window_samples: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-stream rolling standard deviations of a recorded trace.
 
-    Returns ``(times, std_sums)`` where the series starts at the first index
-    with a full window.
+    Returns ``(times, std_matrix)`` where ``std_matrix[i, j]`` is the
+    standard deviation of the last ``window_samples`` samples of stream
+    ``trace.stream_ids[j]`` ending at ``times[i]``.  This is the shared
+    feature matrix of the evaluation pipeline: computed once per recording,
+    any sensor subset's ``s_t`` series is a column-subset sum of it
+    (bit-identical to recomputing on the restricted trace, because each
+    column's rolling statistics are independent of the others).
     """
     if window_samples < 2:
         raise ValueError("window_samples must be >= 2")
@@ -313,8 +346,314 @@ def rolling_std_sum(trace: RssiTrace, window_samples: int) -> Tuple[np.ndarray, 
     sum2_w[1:] -= csum2[: n - w]
     mean = sum_w / w
     var = np.maximum(sum2_w / w - mean ** 2, 0.0)
-    std_sum = np.sqrt(var).sum(axis=1)
-    return trace.times[w - 1 :], std_sum
+    return trace.times[w - 1 :], np.sqrt(var)
+
+
+def rolling_std_sum(trace: RssiTrace, window_samples: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised ``s_t`` series of a recorded trace.
+
+    Returns ``(times, std_sums)`` where the series starts at the first index
+    with a full window.
+    """
+    times, std_matrix = rolling_std_matrix(trace, window_samples)
+    return times, std_matrix.sum(axis=1)
+
+
+def online_std_sum_series(
+    matrix: np.ndarray, window_samples: int
+) -> np.ndarray:
+    """The ``s_t`` series an online :class:`StdSumTracker` would emit.
+
+    ``matrix`` is the ``(n_steps, n_streams)`` sample matrix in stream
+    order.  Unlike :func:`rolling_std_sum` (which starts at the first full
+    window), the online tracker emits values as soon as two samples are
+    buffered, computing the std over the *partial* window; this helper
+    replicates that exactly.  Returns an array of length ``n_steps`` whose
+    first element is NaN (no std of a single sample).
+    """
+    if window_samples < 2:
+        raise ValueError("window_samples must be >= 2")
+    n, k = matrix.shape
+    out = np.full(n, np.nan)
+    if n < 2:
+        return out
+    w = min(window_samples, n)
+    # Partial windows (fill levels 2 .. w-1): a handful of steps, computed
+    # with the same per-stream np.std calls and left-to-right stream
+    # accumulation as the online tracker.
+    cols = [np.ascontiguousarray(matrix[:, j]) for j in range(k)]
+    for i in range(1, w - 1):
+        total = 0.0
+        for col in cols:
+            total += float(np.std(col[: i + 1]))
+        out[i] = total
+    # Full windows, vectorised per stream.  np.std over the rows of a
+    # sliding window view reduces the same values in the same order as the
+    # online tracker's per-window np.std, so the results are bit-identical;
+    # streams are accumulated left to right exactly like the tracker.
+    acc: Optional[np.ndarray] = None
+    for col in cols:
+        stds = np.std(sliding_window_view(col, w), axis=1)
+        acc = stds if acc is None else acc + stds
+    out[w - 1 :] = acc
+    return out
+
+
+@dataclass(frozen=True)
+class ProfileGridResult:
+    """Output of :func:`run_profile_grid`.
+
+    Attributes
+    ----------
+    decisions:
+        ``(n_obs, n_columns)`` int8 matrix: ``-1`` while the profile is
+        initialising (the scalar path's ``None``), ``0`` normal, ``1``
+        anomalous.
+    thresholds:
+        ``(n_obs, n_columns)`` threshold in force after each observation
+        (NaN while initialising) — the per-column
+        :attr:`OfflineMDResult.threshold_trace`.
+    """
+
+    decisions: np.ndarray
+    thresholds: np.ndarray
+
+
+_SQRT2 = np.sqrt(2.0)
+
+
+class _LockstepKDE:
+    """Percentile queries for many independent KDE profiles in lockstep.
+
+    Replicates :meth:`~repro.ml.kde.GaussianKDE.percentile` (bracket
+    expansion + bisection on the Gaussian-mixture CDF) for every row of a
+    ``(n_profiles, n_data)`` data matrix at once.  Per-row arithmetic is the
+    exact operation sequence of the scalar implementation, so the resulting
+    thresholds are bit-identical; the lockstep merely amortises the numpy
+    dispatch overhead across profiles.
+    """
+
+    def __init__(self, data: np.ndarray, bandwidths: np.ndarray) -> None:
+        self._data = data
+        self._h = bandwidths
+        self._n = data.shape[1]
+        self._buf = np.empty_like(data)
+        self._x = np.empty((data.shape[0], 1))
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Row-wise CDF at ``x`` — same op chain as ``GaussianKDE.cdf``."""
+        buf = self._buf
+        xc = self._x
+        xc[:, 0] = x
+        np.subtract(xc, self._data, out=buf)
+        np.divide(buf, self._h[:, None], out=buf)
+        np.divide(buf, _SQRT2, out=buf)
+        erf(buf, out=buf)
+        np.add(buf, 1.0, out=buf)
+        np.multiply(buf, 0.5, out=buf)
+        return np.add.reduce(buf, axis=1) / float(self._n)
+
+    def percentiles(
+        self, q: float, *, tol: float = 1e-6, max_iter: int = 200
+    ) -> np.ndarray:
+        """Row-wise ``GaussianKDE.percentile(q)`` (same ``tol``/``max_iter``)."""
+        target = q / 100.0
+        data, h = self._data, self._h
+        lo = data.min(axis=1) - 10.0 * h
+        hi = data.max(axis=1) + 10.0 * h
+        rows = data.shape[0]
+        # Expand until the CDF brackets the target (scalar: up to 64 steps).
+        active = np.ones(rows, dtype=bool)
+        for _ in range(64):
+            active &= ~(self.cdf(lo) <= target)
+            if not active.any():
+                break
+            lo[active] -= 10.0 * h[active]
+        active = np.ones(rows, dtype=bool)
+        for _ in range(64):
+            active &= ~(self.cdf(hi) >= target)
+            if not active.any():
+                break
+            hi[active] += 10.0 * h[active]
+        # Bisection; converged rows freeze their brackets, exactly like the
+        # scalar loop breaking out early.
+        active = np.ones(rows, dtype=bool)
+        for _ in range(max_iter):
+            mid = 0.5 * (lo + hi)
+            below = self.cdf(mid) < target
+            move_lo = active & below
+            move_hi = active & ~below
+            lo[move_lo] = mid[move_lo]
+            hi[move_hi] = mid[move_hi]
+            active &= ~((hi - lo) < tol)
+            if not active.any():
+                break
+        return 0.5 * (lo + hi)
+
+
+def _scott_bandwidths(data: np.ndarray) -> np.ndarray:
+    """Row-wise Scott bandwidths, replicating ``scott_bandwidth`` exactly."""
+    n = data.shape[1]
+    if n < 2:
+        return np.ones(data.shape[0])
+    sigma = np.std(data, axis=1, ddof=1)
+    return np.where(sigma <= 0, 1.0, sigma * n ** (-1.0 / 5.0))
+
+
+def _run_profile_grid_scalar(
+    std_sums: np.ndarray, config: MDConfig, init_samples: int
+) -> ProfileGridResult:
+    """Column-by-column :class:`NormalProfile` drive (general fallback)."""
+    n, n_cols = std_sums.shape
+    decisions = np.full((n, n_cols), -1, dtype=np.int8)
+    thresholds = np.full((n, n_cols), np.nan)
+    for c in range(n_cols):
+        profile = NormalProfile(config, init_samples)
+        for i in range(n):
+            anomalous = profile.observe(float(std_sums[i, c]))
+            if profile.threshold is not None:
+                thresholds[i, c] = profile.threshold
+            if anomalous is not None:
+                decisions[i, c] = 1 if anomalous else 0
+    return ProfileGridResult(decisions=decisions, thresholds=thresholds)
+
+
+def run_profile_grid(
+    std_sums: np.ndarray, config: Optional[MDConfig] = None, init_samples: int = 2
+) -> ProfileGridResult:
+    """Advance Algorithm 1's normal profile over many ``s_t`` columns at once.
+
+    Parameters
+    ----------
+    std_sums:
+        ``(n_obs, n_columns)`` matrix of standard-deviation sums; each
+        column is an independent profile chain (a sensor subset, a day...).
+    config:
+        MD parameters.
+    init_samples:
+        Number of observations of the installation phase (the scalar path's
+        ``NormalProfile(config, init_samples)``).
+
+    Per column this produces exactly the decisions and thresholds of
+    feeding the values one by one to :meth:`NormalProfile.observe`: the
+    initialisation KDE, the batched accept/reject updates and the
+    percentile bisection all replicate the scalar arithmetic bit for bit.
+    """
+    cfg = config if config is not None else MDConfig()
+    if init_samples < 2:
+        raise ValueError("init_samples must be >= 2")
+    std_sums = np.asarray(std_sums, dtype=float)
+    if std_sums.ndim == 1:
+        # A plain s_t series is one profile chain, not n one-observation
+        # columns.
+        std_sums = std_sums[:, np.newaxis]
+    std_sums = np.ascontiguousarray(std_sums)
+    if cfg.batch_size > init_samples:
+        # The first accepted update would grow the KDE data window from
+        # init_samples to batch_size at column-dependent times, breaking the
+        # rectangular lockstep state; fall back to the reference drive.
+        return _run_profile_grid_scalar(std_sums, cfg, init_samples)
+    n, n_cols = std_sums.shape
+    decisions = np.full((n, n_cols), -1, dtype=np.int8)
+    thresholds = np.full((n, n_cols), np.nan)
+    n0 = init_samples
+    if n < n0:
+        return ProfileGridResult(decisions=decisions, thresholds=thresholds)
+
+    q = 100.0 - cfg.alpha
+    # Initial profile: the first n0 observations of every column.  The KDE
+    # windows are mutated in place as batches are accepted, so this must be
+    # a real copy, never a view of the caller's matrix.
+    data = std_sums[:n0].T.copy()
+    bandwidths = _scott_bandwidths(data)
+    th = _LockstepKDE(data, bandwidths).percentiles(q)
+    thresholds[n0 - 1] = th
+
+    b = cfg.batch_size
+    keep = data.shape[1] - b  # drop_oldest = len(batch) = b on every update
+    start = n0
+    while start < n:
+        end = min(start + b, n)
+        segment = std_sums[start:end]
+        flags = segment >= th[None, :]
+        decisions[start:end] = flags
+        thresholds[start:end] = th[None, :]
+        if end - start == b:
+            anomalous_frac = np.count_nonzero(flags, axis=0) / float(b)
+            accept = anomalous_frac < cfg.tau
+            if accept.any():
+                idx = np.flatnonzero(accept)
+                # Slide the accepted columns' KDE windows: drop the oldest
+                # batch_size values, append the new batch (GaussianKDE.updated).
+                data[idx, :keep] = data[idx, b:]
+                data[idx, keep:] = segment[:, idx].T
+                updated = np.ascontiguousarray(data[idx])
+                new_h = _scott_bandwidths(updated)
+                bandwidths[idx] = new_h
+                th[idx] = _LockstepKDE(updated, new_h).percentiles(q)
+                # The scalar path updates the threshold while observing the
+                # batch's last value, so the trace shows the new threshold
+                # there already.
+                thresholds[end - 1] = th
+        start = end
+    return ProfileGridResult(decisions=decisions, thresholds=thresholds)
+
+
+def variation_windows_from_flags(
+    times: np.ndarray, anomalous: np.ndarray, merge_gap_s: float
+) -> Tuple[VariationWindow, ...]:
+    """Variation windows from a boolean anomaly series.
+
+    Replicates the scalar window bookkeeping: a window spans from the first
+    anomalous instant of a run to its last, and two runs merge unless some
+    non-anomalous observation between them arrived more than ``merge_gap_s``
+    after the earlier run's last anomalous instant.
+    """
+    idx = np.flatnonzero(anomalous)
+    if idx.size == 0:
+        return ()
+    # The scalar loop closes a window at the first non-anomalous t with
+    # t - last_anomalous > gap; between consecutive anomalous indices the
+    # largest such t is the one right before the next anomalous index.
+    gap_exceeded = times[idx[1:] - 1] - times[idx[:-1]] > merge_gap_s
+    split = (idx[1:] > idx[:-1] + 1) & gap_exceeded
+    bounds = np.flatnonzero(split) + 1
+    starts = np.concatenate([[0], bounds])
+    ends = np.concatenate([bounds - 1, [idx.size - 1]])
+    return tuple(
+        VariationWindow(float(times[idx[s]]), float(times[idx[e]]))
+        for s, e in zip(starts, ends)
+    )
+
+
+def window_duration_series(
+    times: np.ndarray, anomalous: np.ndarray, merge_gap_s: float
+) -> np.ndarray:
+    """Per-step ``dW_t`` as the online :class:`MovementDetector` reports it.
+
+    For every timestep: the duration of the currently open variation window
+    (time since the open window's first anomalous instant), or 0 when no
+    window is open.  A window stays open after its last anomalous instant
+    until an observation arrives more than ``merge_gap_s`` later.
+    """
+    n = times.shape[0]
+    out = np.zeros(n)
+    idx = np.flatnonzero(anomalous)
+    if idx.size == 0:
+        return out
+    gap_exceeded = times[idx[1:] - 1] - times[idx[:-1]] > merge_gap_s
+    split = (idx[1:] > idx[:-1] + 1) & gap_exceeded
+    group = np.concatenate([[0], np.cumsum(split)])
+    first_of_group = idx[np.concatenate([[0], np.flatnonzero(split) + 1])]
+    group_start_t = times[first_of_group]
+    # Most recent anomalous index at or before each step.
+    prev = np.searchsorted(idx, np.arange(n), side="right") - 1
+    has_prev = prev >= 0
+    prev_clipped = np.clip(prev, 0, None)
+    last_anom_t = times[idx[prev_clipped]]
+    is_open = has_prev & (times - last_anom_t <= merge_gap_s)
+    out[is_open] = times[is_open] - group_start_t[group[prev_clipped[is_open]]]
+    return out
 
 
 def detect_offline(
@@ -323,7 +662,10 @@ def detect_offline(
     *,
     precomputed: Optional[Tuple[np.ndarray, np.ndarray]] = None,
 ) -> OfflineMDResult:
-    """Run Algorithm 1 over a recorded trace.
+    """Run Algorithm 1 over a recorded trace (columnar fast path).
+
+    Produces output bit-identical to :func:`detect_offline_scalar`, which
+    remains the readable per-observation reference.
 
     Parameters
     ----------
@@ -337,6 +679,24 @@ def detect_offline(
         avoid recomputing the rolling statistics.
     """
     cfg = config if config is not None else MDConfig()
+    times, std_sums, init_samples = _offline_series(trace, cfg, precomputed)
+    grid = run_profile_grid(std_sums[:, np.newaxis], cfg, init_samples)
+    return OfflineMDResult(
+        times=times,
+        std_sums=std_sums,
+        windows=variation_windows_from_flags(
+            times, grid.decisions[:, 0] == 1, cfg.merge_gap_s
+        ),
+        threshold_trace=grid.thresholds[:, 0],
+    )
+
+
+def _offline_series(
+    trace: RssiTrace,
+    cfg: MDConfig,
+    precomputed: Optional[Tuple[np.ndarray, np.ndarray]],
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Shared preamble of the offline detectors: ``s_t`` series + init size."""
     if precomputed is not None:
         times, std_sums = precomputed
     else:
@@ -345,9 +705,25 @@ def detect_offline(
         times, std_sums = rolling_std_sum(trace, window_samples)
     if times.shape[0] < 2:
         raise ValueError("not enough samples for offline MD")
-
     rate = 1.0 / float(np.median(np.diff(times)))
     init_samples = max(int(round(cfg.profile_init_s * rate)), 2)
+    return times, std_sums, init_samples
+
+
+def detect_offline_scalar(
+    trace: RssiTrace,
+    config: Optional[MDConfig] = None,
+    *,
+    precomputed: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> OfflineMDResult:
+    """Per-observation reference implementation of :func:`detect_offline`.
+
+    Drives :class:`NormalProfile` one value at a time, exactly like the
+    online detector; the equivalence tests pin :func:`detect_offline`
+    against it.
+    """
+    cfg = config if config is not None else MDConfig()
+    times, std_sums, init_samples = _offline_series(trace, cfg, precomputed)
     profile = NormalProfile(cfg, init_samples)
 
     thresholds = np.full(times.shape[0], np.nan)

@@ -11,6 +11,14 @@ Two ways to use it:
 * **replay** — call :meth:`replay_day` on a recorded
   :class:`~repro.simulation.collector.DayRecording` to re-live a captured
   day end to end (used by the integration tests and the examples).
+
+:meth:`replay_day` is an *array fast path*: the whole day's std-sum
+series, anomaly decisions and window durations are computed over columns
+(no per-step sample dicts, no per-step ``np.std``), and only the
+controller/session state machines advance step by step, fed from
+precomputed arrays.  :meth:`replay_day_scalar` is the retained per-sample
+reference driving :meth:`process_sample` exactly like the live system;
+both produce bit-identical reports (``tests/test_analysis_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -24,15 +32,61 @@ from ..mobility.events import ENTRY_LABEL
 from ..radio.trace import StreamBuffer
 from ..simulation.collector import DayRecording
 from ..simulation.dataset import SampleDataset
+from ..workstation.activity import ActivityTrace
 from ..workstation.idle import TraceIdleProvider
 from ..workstation.session import SessionState, WorkstationSession
 from .config import FadewichConfig
 from .controller import ControllerAction, ControllerState, FadewichController
 from .kma import KeyboardMouseActivity
-from .movement import MovementDetector
+from .movement import (
+    MovementDetector,
+    online_std_sum_series,
+    run_profile_grid,
+    window_duration_series,
+)
 from .radio_env import RadioEnvironment
 
 __all__ = ["ReplayReport", "FadewichSystem"]
+
+
+class _GridIdleProvider:
+    """Idle-time provider backed by per-step precomputed arrays.
+
+    Serves the KMA queries of the array replay: every controller step
+    queries idle times at a grid timestamp, answered by one array lookup
+    instead of a backwards scan through the activity bins.  Off-grid
+    queries fall back to the exact trace computation.
+    """
+
+    def __init__(
+        self, traces: Mapping[str, ActivityTrace], times: np.ndarray
+    ) -> None:
+        self._traces = dict(traces)
+        self._times = times
+        self._idle = {
+            wid: trace.idle_times_at(times) for wid, trace in self._traces.items()
+        }
+        self._cursor = 0
+
+    @property
+    def workstation_ids(self) -> List[str]:
+        return list(self._traces.keys())
+
+    def idle_time(self, workstation_id: str, t: float) -> float:
+        times = self._times
+        n = times.shape[0]
+        i = self._cursor
+        if i >= n or times[i] != t:
+            # The replay visits timestamps in order: the next step is the
+            # overwhelmingly common miss, so try it before binary search.
+            if i + 1 < n and times[i + 1] == t:
+                i += 1
+            else:
+                i = int(np.searchsorted(times, t))
+                if i >= n or times[i] != t:
+                    return self._traces[workstation_id].idle_time_at(t)
+            self._cursor = i
+        return float(self._idle[workstation_id][i])
 
 
 @dataclass
@@ -178,19 +232,7 @@ class FadewichSystem:
         return self._controller.step(t, d_wt, self._classify_recent_window)
 
     # ------------------------------------------------------------------ #
-    def replay_day(self, day: DayRecording) -> ReplayReport:
-        """Replay a recorded day through the full system.
-
-        The day's activity traces provide both the KMA idle times and the
-        session input events (cancelling alerts / screen savers).
-
-        Raises
-        ------
-        ValueError
-            If the day's trace has no streams or no samples — there is
-            nothing to replay, and silently returning an empty report would
-            mask a broken recording.
-        """
+    def _validate_replay_day(self, day: DayRecording) -> None:
         if not day.trace.streams:
             raise ValueError(
                 "cannot replay a day whose trace has no RSSI streams"
@@ -199,6 +241,116 @@ class FadewichSystem:
             raise ValueError(
                 "cannot replay a day whose trace has no samples"
             )
+
+    def _replay_report(self) -> ReplayReport:
+        assert self._controller is not None
+        return ReplayReport(
+            actions=self._controller.actions,
+            final_states={wid: s.state for wid, s in self._sessions.items()},
+            deauthentications=self._controller.deauthentication_count(),
+            alerts=self._controller.alert_count(),
+            screensavers=sum(
+                s.screensaver_activations() for s in self._sessions.values()
+            ),
+        )
+
+    def replay_day(self, day: DayRecording) -> ReplayReport:
+        """Replay a recorded day through the full system (array fast path).
+
+        The day's activity traces provide both the KMA idle times and the
+        session input events (cancelling alerts / screen savers).
+
+        The whole day is evaluated over columns: the online detector's
+        std-sum series, anomaly decisions and per-step window durations are
+        computed as arrays (bit-identical to feeding
+        :meth:`process_sample` each sample — see
+        :meth:`replay_day_scalar`), and the controller consumes them in a
+        lean loop with precomputed idle times and input flags.  RE is only
+        invoked at the instants Rule 1 fires, on the same sample windows
+        the online buffer would hold.  Note the system's online
+        :attr:`detector` state is bypassed (not advanced) on this path; use
+        :meth:`replay_day_scalar` for step-level introspection.
+
+        Raises
+        ------
+        ValueError
+            If the day's trace has no streams or no samples — there is
+            nothing to replay, and silently returning an empty report would
+            mask a broken recording.
+        """
+        self._validate_replay_day(day)
+        trace = day.trace.restricted_to(self._stream_ids)
+        times = trace.times
+        n = times.shape[0]
+        self.attach_idle_provider(_GridIdleProvider(day.activity, times))
+        assert self._controller is not None
+        cfg = self._config
+
+        matrix = np.column_stack([trace.streams[sid] for sid in self._stream_ids])
+        columns = [np.ascontiguousarray(matrix[:, j]) for j in range(matrix.shape[1])]
+
+        # MD over columns: the online tracker's s_t series (partial windows
+        # included), the lockstep profile decisions and the per-step dW_t.
+        window_samples = max(int(round(cfg.md.std_window_s * self._rate)), 2)
+        init_samples = max(int(round(cfg.md.profile_init_s * self._rate)), 2)
+        std_sums = online_std_sum_series(matrix, window_samples)
+        anomalous = np.zeros(n, dtype=bool)
+        if n > 1:
+            grid = run_profile_grid(
+                std_sums[1:, np.newaxis], cfg.md, init_samples
+            )
+            anomalous[1:] = grid.decisions[:, 0] == 1
+        durations = window_duration_series(times, anomalous, cfg.md.merge_gap_s)
+
+        # Per-step keyboard/mouse input flags for every workstation.
+        interval_starts = np.empty(n)
+        interval_starts[0] = float(times[0]) - 1.0 / self._rate
+        interval_starts[1:] = times[:-1]
+        inputs = {
+            wid: day.activity[wid].has_input_in_many(interval_starts, times)
+            for wid in self._sessions
+        }
+
+        # RE classification of the recent-sample window, only materialised
+        # at the instants Rule 1 queries it.
+        maxlen = self._recent.maxlen
+        current_step = [0]
+
+        def classify_current_window() -> str:
+            i = current_step[0]
+            fill = min(i + 1, maxlen)
+            if not self._re.is_trained or fill < 2:
+                return ENTRY_LABEL
+            windows = {
+                sid: col[i + 1 - fill : i + 1]
+                for sid, col in zip(self._stream_ids, columns)
+            }
+            return self._re.classify(self._re.extractor.extract(windows))
+
+        sessions = list(self._sessions.items())
+        controller = self._controller
+        for i in range(n):
+            current_step[0] = i
+            t = float(times[i])
+            controller.step(t, float(durations[i]), classify_current_window)
+            # Forward keyboard/mouse input to the sessions so alerts cancel
+            # and deauthenticated users eventually log back in.
+            for wid, session in sessions:
+                if inputs[wid][i]:
+                    if session.state is SessionState.DEAUTHENTICATED:
+                        session.reauthenticate(t)
+                    else:
+                        session.register_input(t)
+        return self._replay_report()
+
+    def replay_day_scalar(self, day: DayRecording) -> ReplayReport:
+        """Per-sample reference replay (the live-system path, step by step).
+
+        Semantics reference for :meth:`replay_day`: feeds every sample
+        through :meth:`process_sample` exactly like the deployed system.
+        The equivalence tests pin the array fast path against it.
+        """
+        self._validate_replay_day(day)
         provider = TraceIdleProvider(day.activity)
         self.attach_idle_provider(provider)
         assert self._controller is not None
@@ -224,14 +376,4 @@ class FadewichSystem:
                     else:
                         session.register_input(t)
             prev_t = t
-
-        report = ReplayReport(
-            actions=self._controller.actions,
-            final_states={wid: s.state for wid, s in self._sessions.items()},
-            deauthentications=self._controller.deauthentication_count(),
-            alerts=self._controller.alert_count(),
-            screensavers=sum(
-                s.screensaver_activations() for s in self._sessions.values()
-            ),
-        )
-        return report
+        return self._replay_report()

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..mobility.events import GroundTruthEvent
 from ..ml.metrics import DetectionCounts
 
@@ -150,14 +152,22 @@ def match_windows(
 
     # Any unmatched variation window that still overlaps *some* true window
     # (even one already matched) is not a false positive — it corresponds to
-    # a real movement, just a redundant detection of it.
-    false_positives = []
-    for wi, vw in enumerate(windows):
-        if wi in matched_windows:
-            continue
-        if any(vw.overlaps(tw) for tw in true_windows):
-            continue
-        false_positives.append(vw)
+    # a real movement, just a redundant detection of it.  The overlap test
+    # is a pure predicate, so the sweep over true windows runs columnar.
+    if true_windows:
+        tw_starts = np.array([tw.t_start for tw in true_windows])
+        tw_ends = np.array([tw.t_end for tw in true_windows])
+        overlaps_any = [
+            bool(np.any((vw.t_start <= tw_ends) & (tw_starts <= vw.t_end)))
+            for vw in windows
+        ]
+    else:
+        overlaps_any = [False] * len(windows)
+    false_positives = [
+        vw
+        for wi, vw in enumerate(windows)
+        if wi not in matched_windows and not overlaps_any[wi]
+    ]
 
     missed = tuple(
         tw for ti, tw in enumerate(true_windows) if ti not in matched_truth

@@ -55,6 +55,7 @@ from .validation import (
     cross_val_scores,
     kfold_indices,
     learning_curve,
+    stratified_fold_assignments,
     stratified_kfold_indices,
     train_test_split,
 )
@@ -93,6 +94,7 @@ __all__ = [
     "relative_mutual_information",
     "scott_bandwidth",
     "silverman_bandwidth",
+    "stratified_fold_assignments",
     "stratified_kfold_indices",
     "stream_features",
     "stream_importance",

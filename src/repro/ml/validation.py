@@ -18,6 +18,7 @@ from .metrics import accuracy
 
 __all__ = [
     "kfold_indices",
+    "stratified_fold_assignments",
     "stratified_kfold_indices",
     "train_test_split",
     "cross_val_scores",
@@ -44,10 +45,17 @@ def kfold_indices(
         yield train_idx, test_idx
 
 
-def stratified_kfold_indices(
+def stratified_fold_assignments(
     y: Sequence, n_folds: int, rng: Optional[np.random.Generator] = None
-) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-    """Yield k-fold splits preserving per-class proportions.
+) -> np.ndarray:
+    """Stratified fold membership as one integer array.
+
+    Returns ``assignments`` with ``assignments[i]`` the fold of sample
+    ``i``: per class, a shuffled round-robin spread over the folds.  This is
+    the columnar form of the stratified split — fold ``k``'s test set is
+    ``assignments == k`` — used by the vectorised cross-validation paths;
+    :func:`stratified_kfold_indices` derives its index pairs from it, so
+    both consume the random stream identically.
 
     Classes with fewer members than folds are spread as evenly as possible;
     a class may then be absent from some training folds, matching what
@@ -60,21 +68,28 @@ def stratified_kfold_indices(
         raise ValueError("more folds than samples")
     if rng is None:
         rng = np.random.default_rng()
-
-    fold_members: List[List[int]] = [[] for _ in range(n_folds)]
+    assignments = np.empty(y.shape[0], dtype=np.intp)
     for cls in np.unique(y):
-        idx = np.flatnonzero(y == cls)
-        idx = rng.permutation(idx)
-        for pos, sample_idx in enumerate(idx):
-            fold_members[pos % n_folds].append(int(sample_idx))
+        idx = rng.permutation(np.flatnonzero(y == cls))
+        assignments[idx] = np.arange(idx.shape[0]) % n_folds
+    return assignments
 
+
+def stratified_kfold_indices(
+    y: Sequence, n_folds: int, rng: Optional[np.random.Generator] = None
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield k-fold splits preserving per-class proportions.
+
+    Index pairs are derived from :func:`stratified_fold_assignments`
+    (train and test indices both ascending, as before).
+    """
+    assignments = stratified_fold_assignments(y, n_folds, rng)
     for i in range(n_folds):
-        test_idx = np.asarray(sorted(fold_members[i]), dtype=int)
-        train_idx = np.asarray(
-            sorted(j for k in range(n_folds) if k != i for j in fold_members[k]),
-            dtype=int,
+        test_mask = assignments == i
+        yield (
+            np.flatnonzero(~test_mask).astype(int),
+            np.flatnonzero(test_mask).astype(int),
         )
-        yield train_idx, test_idx
 
 
 def train_test_split(

@@ -63,6 +63,7 @@ class SampleDataset:
             raise ValueError("feature_names must not be empty")
         for s in self.samples:
             self._check_sample(s)
+        self._arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _check_sample(self, sample: LabeledSample) -> None:
         if sample.features.shape[0] != len(self.feature_names):
@@ -76,6 +77,7 @@ class SampleDataset:
         """Append one sample (validating its dimensionality)."""
         self._check_sample(sample)
         self.samples.append(sample)
+        self._arrays = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -99,15 +101,22 @@ class SampleDataset:
         return counts
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Return ``(X, y)``: the sample matrix and the label vector."""
+        """Return ``(X, y)``: the sample matrix and the label vector.
+
+        The arrays are memoised (invalidated by :meth:`add`) because the
+        cross-validation and learning-curve sweeps request them repeatedly;
+        treat them as read-only.
+        """
         if not self.samples:
             return (
                 np.empty((0, self.n_features)),
                 np.empty((0,), dtype=object),
             )
-        X = np.vstack([s.features for s in self.samples])
-        y = np.asarray([s.label for s in self.samples], dtype=object)
-        return X, y
+        if self._arrays is None:
+            X = np.vstack([s.features for s in self.samples])
+            y = np.asarray([s.label for s in self.samples], dtype=object)
+            self._arrays = (X, y)
+        return self._arrays
 
     def filter_labels(self, labels: Sequence[str]) -> "SampleDataset":
         """A new dataset containing only samples with the given labels."""

@@ -98,6 +98,58 @@ class ActivityTrace:
             return False
         return bool(self.active_bins[first : last + 1].any())
 
+    # ------------------------------------------------------------------ #
+    # Columnar queries (used by the array replay fast path).  Each is the
+    # vectorised form of its scalar counterpart above and must return the
+    # same answers element for element.
+    # ------------------------------------------------------------------ #
+    def idle_times_at(self, times: np.ndarray) -> np.ndarray:
+        """:meth:`idle_time_at` evaluated at many instants at once."""
+        t = np.asarray(times, dtype=float)
+        n_bins = self.active_bins.shape[0]
+        rel = t - self.start_time
+        active_idx = np.flatnonzero(self.active_bins)
+        if active_idx.size == 0:
+            # No input ever: idle since the start of the trace.
+            return np.maximum(rel, 0.0)
+        last_bin = np.minimum(
+            np.floor(rel / self.bin_seconds).astype(np.int64), n_bins - 1
+        )
+        # Most recent active bin at or before each queried bin.
+        pos = np.searchsorted(active_idx, last_bin, side="right") - 1
+        has_input = (pos >= 0) & (rel >= 0)
+        found = active_idx[np.clip(pos, 0, None)]
+        input_time = self.start_time + (found + 1) * self.bin_seconds
+        last = np.minimum(input_time, t)
+        return np.where(
+            has_input,
+            np.maximum(t - last, 0.0),
+            np.maximum(t - self.start_time, 0.0),
+        )
+
+    def has_input_in_many(
+        self, t_starts: np.ndarray, t_ends: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`has_input_in` evaluated over many intervals at once."""
+        t_starts = np.asarray(t_starts, dtype=float)
+        t_ends = np.asarray(t_ends, dtype=float)
+        if np.any(t_ends < t_starts):
+            raise ValueError("t_end must be >= t_start")
+        n_bins = self.active_bins.shape[0]
+        first = np.maximum(
+            np.floor((t_starts - self.start_time) / self.bin_seconds).astype(np.int64),
+            0,
+        )
+        last = np.minimum(
+            np.floor((t_ends - self.start_time) / self.bin_seconds).astype(np.int64),
+            n_bins - 1,
+        )
+        counts = np.concatenate([[0], np.cumsum(self.active_bins)])
+        valid = first <= last
+        first_c = np.clip(first, 0, n_bins)
+        last_c = np.clip(last, -1, n_bins - 1)
+        return valid & (counts[last_c + 1] - counts[first_c] > 0)
+
 
 class InputActivityModel:
     """Generates Mikkelsen-style activity traces gated by user presence.

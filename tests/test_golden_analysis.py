@@ -1,0 +1,93 @@
+"""Golden analysis test: the paper-facing numbers of the default campaign.
+
+Pins Table III (MD detection counts and rates), the Figure 7 F-measure
+peaks and the Figure 8 final accuracies for the default seed-42 compact
+campaign.  The columnar analysis engine (shared feature matrix, lockstep
+profile grid, vectorised CV) sits under all of these, so any refactor that
+silently drifts the paper's numbers fails here loudly.  If a change is
+*intentional* (e.g. a new seeding or profiling scheme), re-derive the
+golden values and update them in the same commit.
+"""
+
+import pytest
+
+from repro.analysis.campaign import AnalysisContext, collect_campaign
+from repro.analysis.md_performance import compute_fmeasure_curves, compute_md_table
+from repro.analysis.re_performance import compute_learning_curves
+from repro.core.config import FadewichConfig
+
+GOLDEN_SEED = 42
+
+#: Table III — (tp, fp, fn) per sensor count.
+GOLDEN_MD_COUNTS = {
+    3: (38, 1, 35),
+    4: (44, 2, 29),
+    5: (43, 0, 30),
+    6: (47, 2, 26),
+    7: (56, 6, 17),
+    8: (67, 8, 6),
+    9: (66, 7, 7),
+}
+
+#: Table III — TP/FP/FN fractions per sensor count.
+GOLDEN_MD_RATES = {
+    3: {"tp": 0.513514, "fp": 0.013514, "fn": 0.472973},
+    4: {"tp": 0.586667, "fp": 0.026667, "fn": 0.386667},
+    5: {"tp": 0.589041, "fp": 0.000000, "fn": 0.410959},
+    6: {"tp": 0.626667, "fp": 0.026667, "fn": 0.346667},
+    7: {"tp": 0.708861, "fp": 0.075949, "fn": 0.215190},
+    8: {"tp": 0.827160, "fp": 0.098765, "fn": 0.074074},
+    9: {"tp": 0.825000, "fp": 0.087500, "fn": 0.087500},
+}
+
+#: Figure 7 — (t_delta at peak, peak F-measure) per plotted sensor count.
+GOLDEN_F_PEAKS = {
+    3: (2.0, 0.8344370860927152),
+    5: (3.0, 0.8873239436619719),
+    7: (3.5, 0.8767123287671232),
+    9: (4.0, 0.912751677852349),
+}
+
+#: Figure 8 — final out-of-fold accuracy per sensor count
+#: (n_repeats=3, seed=0 keeps the golden run fast but fully pinned).
+GOLDEN_FINAL_ACCURACY = {
+    3: 0.3071428571428571,
+    9: 0.678949938949939,
+}
+
+
+@pytest.fixture(scope="module")
+def context():
+    recording = collect_campaign(seed=GOLDEN_SEED)
+    return AnalysisContext(recording, FadewichConfig(), seed=0)
+
+
+class TestGoldenAnalysis:
+    def test_table3_md_counts_and_rates(self, context):
+        rows = compute_md_table(context)
+        assert [row.n_sensors for row in rows] == sorted(GOLDEN_MD_COUNTS)
+        for row in rows:
+            counts = (row.counts.tp, row.counts.fp, row.counts.fn)
+            assert counts == GOLDEN_MD_COUNTS[row.n_sensors]
+            for key, value in GOLDEN_MD_RATES[row.n_sensors].items():
+                assert row.rates[key] == pytest.approx(value, abs=1e-6)
+
+    def test_fig7_fmeasure_peaks(self, context):
+        curves = compute_fmeasure_curves(context)
+        assert [c.n_sensors for c in curves] == sorted(GOLDEN_F_PEAKS)
+        for curve in curves:
+            t_peak, f_peak = curve.peak()
+            golden_t, golden_f = GOLDEN_F_PEAKS[curve.n_sensors]
+            assert t_peak == golden_t
+            assert f_peak == pytest.approx(golden_f, abs=1e-9)
+
+    def test_fig8_final_accuracies(self, context):
+        curves = compute_learning_curves(
+            context, sensor_counts=tuple(sorted(GOLDEN_FINAL_ACCURACY)),
+            n_repeats=3, seed=0,
+        )
+        assert [c.n_sensors for c in curves] == sorted(GOLDEN_FINAL_ACCURACY)
+        for curve in curves:
+            assert curve.final_accuracy == pytest.approx(
+                GOLDEN_FINAL_ACCURACY[curve.n_sensors], abs=1e-9
+            )

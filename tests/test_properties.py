@@ -1,9 +1,12 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.evaluation import DayEvaluation, MDEvaluation, sensor_subset
+from repro.core.movement import OfflineMDResult
 from repro.core.windows import VariationWindow, match_windows, true_window_for_event
 from repro.ml.features import window_autocorrelation, window_entropy, window_variance
 from repro.ml.kde import GaussianKDE
@@ -257,6 +260,124 @@ class TestWindowMatchingProperties:
         event = GroundTruthEvent(EventKind.DEPARTURE, t, "u1", "w1", exit_time=t + 4.0)
         tw = true_window_for_event(event, slack)
         assert tw.t_start <= t <= tw.t_end
+
+
+def _synthetic_md_evaluation(event_specs, window_specs):
+    """An MDEvaluation over synthetic chronological events and MD windows.
+
+    ``event_specs`` / ``window_specs`` are ``(gap, duration)`` pairs laid
+    out cumulatively, mirroring the real pipeline's output shape:
+    chronological events, sorted non-overlapping variation windows.
+    """
+    t = 0.0
+    events = []
+    for gap, duration in event_specs:
+        t += gap
+        events.append(
+            GroundTruthEvent(
+                EventKind.DEPARTURE, t, "u1", "w1", exit_time=t + duration
+            )
+        )
+    w = 0.0
+    windows = []
+    for gap, duration in window_specs:
+        w += gap
+        windows.append(VariationWindow(w, w + duration))
+        w += duration
+    md_result = OfflineMDResult(
+        times=np.array([0.0, 1.0]),
+        std_sums=np.zeros(2),
+        windows=tuple(windows),
+        threshold_trace=np.zeros(2),
+    )
+    day = DayEvaluation(
+        day_index=0, trace=None, md_result=md_result, match=None, events=events
+    )
+    return MDEvaluation(sensor_ids=("d1", "d2"), t_delta_s=1.0, days=[day])
+
+
+_gap = st.floats(min_value=0.1, max_value=50.0, allow_nan=False)
+_duration = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+_specs = st.lists(st.tuples(_gap, _duration), min_size=0, max_size=6)
+
+
+class TestRematchProperties:
+    """Invariants of the Figure 7 re-scoring path (MDEvaluation.rematch)."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        event_specs=_specs,
+        window_specs=_specs,
+        slack_a=st.floats(min_value=0.1, max_value=30.0),
+        slack_b=st.floats(min_value=0.1, max_value=30.0),
+        t_delta=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_tp_monotone_in_slack_and_counts_conserved(
+        self, event_specs, window_specs, slack_a, slack_b, t_delta
+    ):
+        evaluation = _synthetic_md_evaluation(event_specs, window_specs)
+        narrow = evaluation.rematch(t_delta, min(slack_a, slack_b)).counts
+        wide = evaluation.rematch(t_delta, max(slack_a, slack_b)).counts
+        n_events = len(evaluation.days[0].events)
+        # Every event is either detected or missed, at any slack.
+        assert narrow.tp + narrow.fn == n_events
+        assert wide.tp + wide.fn == n_events
+        # Growing the true windows can only gain detections.
+        assert narrow.tp <= wide.tp
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        event_specs=_specs,
+        window_specs=_specs,
+        slack=st.floats(min_value=0.1, max_value=30.0),
+        t_delta=st.floats(min_value=0.1, max_value=10.0),
+    )
+    def test_rematch_is_deterministic_and_preserves_detection(
+        self, event_specs, window_specs, slack, t_delta
+    ):
+        evaluation = _synthetic_md_evaluation(event_specs, window_specs)
+        first = evaluation.rematch(t_delta, slack)
+        second = evaluation.rematch(t_delta, slack)
+        assert first.counts == second.counts
+        assert first.t_delta_s == t_delta
+        # rematch re-scores the same MD output: the windows are untouched.
+        for day_before, day_after in zip(evaluation.days, first.days):
+            assert day_after.md_result is day_before.md_result
+
+
+class TestSensorSubsetProperties:
+    _ids = st.lists(
+        st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=4,
+        ),
+        min_size=2,
+        max_size=9,
+        unique=True,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(ids=_ids, data=st.data())
+    def test_deterministic_and_prefix_consistent(self, ids, data):
+        k = data.draw(st.integers(min_value=2, max_value=len(ids)))
+        subset = sensor_subset(ids, k)
+        # Deterministic: repeated calls agree.
+        assert subset == sensor_subset(ids, k)
+        assert len(subset) == k
+        # k-prefix consistency: every sweep's subsets nest.
+        for smaller in range(2, k + 1):
+            assert sensor_subset(ids, smaller) == subset[:smaller]
+        # And the subset is literally the deployment-order prefix.
+        assert subset == list(ids)[:k]
+
+    @settings(max_examples=50, deadline=None)
+    @given(ids=_ids)
+    def test_invalid_sizes_rejected(self, ids):
+        with pytest.raises(ValueError):
+            sensor_subset(ids, 1)
+        with pytest.raises(ValueError):
+            sensor_subset(ids, len(ids) + 1)
 
 
 class TestActivityProperties:
