@@ -8,9 +8,19 @@ count, RE cross-validation) are computed once per benchmark session.
 The campaign scale is compact (five 40-minute days with compressed movement
 rates) so the whole benchmark suite runs in minutes; pass
 ``--paper-scale`` to run the full five 8-hour days instead.
+
+Timing-gate robustness: the throughput benchmarks (engine >= 5x, MD grid
+>= 2.5x, replay >= 5x, sweep <= 1.3x per-scenario overhead) assert on
+wall-clock ratios, which are noisy on loaded CI runners.  The shared
+``best_of`` fixture times each side as the best of ``--bench-repeats``
+runs — the minimum is the standard robust estimator for "how fast can this
+code go", since external load only ever *adds* time — and ``speedup_gate``
+renders and asserts the ratio uniformly across the gate benchmarks.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
@@ -54,6 +64,24 @@ def pytest_addoption(parser):
         "benchmark; CI smoke runs pass a smaller value (overridden to the "
         "full 8-hour day by --paper-scale)",
     )
+    parser.addoption(
+        "--sweep-day-s",
+        action="store",
+        type=float,
+        default=600.0,
+        help="simulated day length (seconds) of each scenario in the sweep "
+        "throughput benchmark (overridden to the full 8-hour day by "
+        "--paper-scale)",
+    )
+    parser.addoption(
+        "--bench-repeats",
+        action="store",
+        type=int,
+        default=3,
+        help="how many times each timed side of a throughput gate runs; "
+        "the best (minimum) time is used, making the gates robust to "
+        "loaded runners",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -77,3 +105,62 @@ def context(campaign):
 @pytest.fixture(scope="session")
 def config():
     return FadewichConfig()
+
+
+@pytest.fixture(scope="session")
+def best_of(request):
+    """Robust timer: best wall-clock of ``--bench-repeats`` runs.
+
+    Returns ``(seconds, result)`` of the fastest run.  All gated code paths
+    are deterministic, so every repeat returns the same result; the first
+    repeat doubles as a warm-up (allocator, caches), which is why callers
+    no longer need explicit warm-up calls.
+    """
+    default_repeats = max(1, int(request.config.getoption("--bench-repeats")))
+
+    def _best_of(fn, repeats: int = default_repeats):
+        best_t, result = float("inf"), None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            value = fn()
+            elapsed = time.perf_counter() - t0
+            if elapsed < best_t:
+                best_t, result = elapsed, value
+        return best_t, result
+
+    return _best_of
+
+
+@pytest.fixture(scope="session")
+def speedup_gate():
+    """Uniform render-and-assert for the throughput gates.
+
+    ``gate(label, t_reference, t_fast, min_speedup, detail=...)`` prints
+    both timings and the measured ratio, asserts
+    ``t_reference / t_fast >= min_speedup`` and returns the ratio.
+    """
+
+    def _gate(
+        label: str,
+        t_reference: float,
+        t_fast: float,
+        min_speedup: float,
+        *,
+        reference_name: str = "reference",
+        fast_name: str = "fast path",
+        detail: str = "",
+    ) -> float:
+        speedup = t_reference / t_fast
+        print(
+            f"\n{label}{f' ({detail})' if detail else ''}:\n"
+            f"  {reference_name}: {t_reference:8.3f}s\n"
+            f"  {fast_name}: {t_fast:8.3f}s\n"
+            f"  speedup: {speedup:.2f}x (required >= {min_speedup:.2f}x)"
+        )
+        assert speedup >= min_speedup, (
+            f"{label}: {fast_name} lost its edge — "
+            f"{speedup:.2f}x < required {min_speedup:.2f}x"
+        )
+        return speedup
+
+    return _gate

@@ -25,8 +25,6 @@ Day length defaults to two 20-minute days (``--analysis-day-s`` to
 override); ``--paper-scale`` runs full 8-hour days instead.
 """
 
-import time
-
 import numpy as np
 
 from repro.analysis.campaign import CampaignScale, collect_campaign
@@ -70,38 +68,19 @@ def _bench_campaign(request):
     return collect_campaign(seed=seed, scale=_analysis_scale(request))
 
 
-def test_md_grid_throughput(request):
+def test_md_grid_throughput(request, best_of, speedup_gate):
     recording = _bench_campaign(request)
     config = FadewichConfig()
     counts = list(range(3, len(recording.layout.sensors) + 1))
 
-    # Warm both paths once on the first count (allocator, caches).
-    evaluate_md(recording, config, sensor_subset(recording.layout.sensor_ids, 3))
-    evaluate_md_scalar(
-        recording, config, sensor_subset(recording.layout.sensor_ids, 3)
-    )
-
-    t0 = time.perf_counter()
-    grid = evaluate_md_grid(recording, config, counts)
-    t_grid = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    scalar = {
-        n: evaluate_md_scalar(
-            recording, config, sensor_subset(recording.layout.sensor_ids, n)
-        )
-        for n in counts
-    }
-    t_scalar = time.perf_counter() - t0
-
-    speedup = t_scalar / t_grid
-    n_obs = grid[counts[0]].days[0].md_result.times.shape[0]
-    print(
-        f"\nMD grid throughput ({recording.n_days} days x {n_obs} obs x "
-        f"{len(counts)} sensor counts):\n"
-        f"  scalar sweep: {t_scalar:8.3f}s\n"
-        f"  pooled grid:  {t_grid:8.3f}s\n"
-        f"  speedup: {speedup:.1f}x (required >= {MIN_MD_SPEEDUP:.1f}x)"
+    t_grid, grid = best_of(lambda: evaluate_md_grid(recording, config, counts))
+    t_scalar, scalar = best_of(
+        lambda: {
+            n: evaluate_md_scalar(
+                recording, config, sensor_subset(recording.layout.sensor_ids, n)
+            )
+            for n in counts
+        }
     )
 
     # The two paths must agree bit for bit...
@@ -113,10 +92,22 @@ def test_md_grid_throughput(request):
                 day_g.md_result.threshold_trace, day_s.md_result.threshold_trace
             )
     # ...and the grid must stay decisively faster.
-    assert speedup >= MIN_MD_SPEEDUP
+    n_obs = grid[counts[0]].days[0].md_result.times.shape[0]
+    speedup_gate(
+        "MD grid throughput",
+        t_scalar,
+        t_grid,
+        MIN_MD_SPEEDUP,
+        reference_name="scalar sweep",
+        fast_name="pooled grid ",
+        detail=(
+            f"{recording.n_days} days x {n_obs} obs x "
+            f"{len(counts)} sensor counts"
+        ),
+    )
 
 
-def test_replay_throughput(request):
+def test_replay_throughput(request, best_of, speedup_gate):
     recording = _bench_campaign(request)
     config = FadewichConfig()
     layout = recording.layout
@@ -135,55 +126,45 @@ def test_replay_throughput(request):
         return system
 
     day = recording.days[-1]
-    # Warm-up on a short prefix of the day.
-    warm = recording.days[0]
-    make_system().replay_day(warm)
-    make_system().replay_day_scalar(warm)
-
-    t0 = time.perf_counter()
-    batch = make_system().replay_day(day)
-    t_batch = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    scalar = make_system().replay_day_scalar(day)
-    t_scalar = time.perf_counter() - t0
-
-    n_steps = day.trace.n_samples
-    n_streams = len(re_module.stream_ids)
-    speedup = t_scalar / t_batch
-    print(
-        f"\nreplay throughput ({n_steps} steps x {n_streams} streams):\n"
-        f"  scalar: {t_scalar:8.3f}s  ({n_steps * n_streams / t_scalar:12,.0f} samples/s)\n"
-        f"  array:  {t_batch:8.3f}s  ({n_steps * n_streams / t_batch:12,.0f} samples/s)\n"
-        f"  speedup: {speedup:.1f}x (required >= {MIN_REPLAY_SPEEDUP:.0f}x)"
-    )
+    t_batch, batch = best_of(lambda: make_system().replay_day(day))
+    t_scalar, scalar = best_of(lambda: make_system().replay_day_scalar(day))
 
     assert batch.actions == scalar.actions
     assert batch.final_states == scalar.final_states
     assert batch.deauthentications == scalar.deauthentications
     assert batch.alerts == scalar.alerts
     assert batch.screensavers == scalar.screensavers
-    assert speedup >= MIN_REPLAY_SPEEDUP
+
+    n_steps = day.trace.n_samples
+    n_streams = len(re_module.stream_ids)
+    speedup_gate(
+        "replay throughput",
+        t_scalar,
+        t_batch,
+        MIN_REPLAY_SPEEDUP,
+        reference_name=f"scalar ({n_steps * n_streams / t_scalar:12,.0f} samples/s)",
+        fast_name=f"array  ({n_steps * n_streams / t_batch:12,.0f} samples/s)",
+        detail=f"{n_steps} steps x {n_streams} streams",
+    )
 
 
-def test_cv_throughput(request):
+def test_cv_throughput(request, best_of):
     """Report (no gate): both CV paths are dominated by the same SVM fits."""
     recording = _bench_campaign(request)
     config = FadewichConfig()
     evaluation = evaluate_md(recording, config, recording.layout.sensor_ids)
     re_module, dataset = build_sample_dataset(evaluation, config, random_state=0)
 
-    t0 = time.perf_counter()
-    vectorized = cross_validated_predictions(
-        re_module, dataset, rng=np.random.default_rng(0)
+    t_vec, vectorized = best_of(
+        lambda: cross_validated_predictions(
+            re_module, dataset, rng=np.random.default_rng(0)
+        )
     )
-    t_vec = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    scalar = cross_validated_predictions_scalar(
-        re_module, dataset, rng=np.random.default_rng(0)
+    t_scalar, scalar = best_of(
+        lambda: cross_validated_predictions_scalar(
+            re_module, dataset, rng=np.random.default_rng(0)
+        )
     )
-    t_scalar = time.perf_counter() - t0
 
     print(
         f"\nCV throughput ({len(dataset)} samples): "

@@ -1,0 +1,112 @@
+"""Benchmark: scenario-grid sweep vs. standalone campaign+analysis runs.
+
+The sweep engine must be "many reproduction campaigns for the price of
+many reproduction campaigns": executing a grid through
+:class:`~repro.analysis.scenarios.ScenarioSweepRunner` has to reuse the
+batch simulation engine and the columnar MD grid per scenario, not fall
+back to scalar paths or re-derive shared work.  The gate times a
+4-scenario grid (2 layouts x 2 behaviour scales) in serial mode — so the
+comparison measures engine reuse, not worker-pool parallelism — against
+the sum of dedicated standalone runs (serial ``collect_generated`` +
+``AnalysisContext.md_evaluations``) of the *same* scenarios, and requires
+the per-scenario overhead to stay within ``MAX_SWEEP_OVERHEAD``.
+
+It also asserts the sweep's MD numbers equal the standalone runs' exactly
+(same derived seeds, same columnar engine), so the timing gate can never
+pass on divergent work.
+
+Day length defaults to compact 10-minute days (``--sweep-day-s`` to
+override); ``--paper-scale`` runs full 8-hour days.  Both sides are timed
+as the best of ``--bench-repeats`` runs.
+"""
+
+from repro.analysis.campaign import AnalysisContext, CampaignScale
+from repro.analysis.scenarios import ScenarioGrid, ScenarioSweepRunner
+from repro.radio.office import paper_office, wide_office
+from repro.simulation.collector import CampaignCollector
+
+#: Maximum tolerated ratio of sweep time to the summed standalone runs.
+MAX_SWEEP_OVERHEAD = 1.3
+
+SWEEP_SEED = 17
+
+
+def _sweep_grid(request) -> ScenarioGrid:
+    if request.config.getoption("--paper-scale"):
+        day_s = 8 * 3600.0
+    else:
+        day_s = float(request.config.getoption("--sweep-day-s"))
+    base = CampaignScale(
+        name="sweep-bench",
+        n_days=2,
+        day_duration_s=day_s,
+        departures_per_hour=6.5,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=2.0,
+    )
+    busy = base.derive("sweep-bench-busy", departures_per_hour=10.0)
+    return ScenarioGrid(
+        layouts=[paper_office(), wide_office()], scales=[base, busy]
+    )
+
+
+def test_sweep_throughput(request, best_of, speedup_gate):
+    grid = _sweep_grid(request)
+
+    def run_sweep():
+        return ScenarioSweepRunner(
+            grid, seed=SWEEP_SEED, mode="serial", re_sensor_counts=()
+        ).run()
+
+    def run_standalone():
+        # The exact same scenarios, each as a user would run it by hand:
+        # a dedicated serial collector plus its own analysis context.
+        runner = ScenarioSweepRunner(
+            grid, seed=SWEEP_SEED, mode="serial", re_sensor_counts=()
+        )
+        rows = {}
+        for spec in runner.specs:
+            collector = CampaignCollector(
+                spec.layout,
+                channel_config=spec.channel_config,
+                seed=runner.scenario_seed(spec),
+            )
+            recording = collector.collect_generated(
+                spec.scale.n_days,
+                spec.scale.day_duration_s,
+                spec.scale.profiles_for(spec.layout),
+            )
+            context = AnalysisContext(recording, spec.config, seed=0)
+            counts = grid.sensor_counts_for(spec.layout)
+            evaluations = context.md_evaluations(counts)
+            rows[spec.name] = {
+                n: (e.counts.tp, e.counts.fp, e.counts.fn)
+                for n, e in evaluations.items()
+            }
+        return rows
+
+    t_sweep, report = best_of(run_sweep)
+    t_alone, alone = best_of(run_standalone)
+
+    # The sweep must produce exactly the standalone numbers...
+    assert report.n_scenarios == len(grid) == 4
+    for result in report.results:
+        got = {
+            row.n_sensors: (row.counts.tp, row.counts.fp, row.counts.fn)
+            for row in result.md_rows
+        }
+        assert got == alone[result.spec.name], result.spec.name
+    # ...and cost at most MAX_SWEEP_OVERHEAD of the standalone total,
+    # i.e. the "speedup" of the standalone side over the sweep must stay
+    # >= 1 / MAX_SWEEP_OVERHEAD (the sweep may also be faster — it shares
+    # per-scenario setup — but must never regress to scalar paths).
+    speedup_gate(
+        "sweep throughput",
+        t_alone,
+        t_sweep,
+        1.0 / MAX_SWEEP_OVERHEAD,
+        reference_name="standalone x4",
+        fast_name="grid sweep   ",
+        detail=f"{len(grid)} scenarios x {grid.scales[0].n_days} days, serial",
+    )

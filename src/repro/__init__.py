@@ -28,9 +28,9 @@ True
 
 from .core.config import FadewichConfig, MDConfig, REConfig
 from .core.system import FadewichSystem
-from .radio.office import OfficeLayout, paper_office
+from .radio.office import OfficeLayout, paper_office, wide_office
 from .simulation.collector import CampaignCollector, CampaignRecording
-from .simulation.runner import CampaignRunner
+from .simulation.runner import CampaignRunner, DayTask
 
 # 2.0.0: breaking — the seeding scheme moved to per-purpose SeedSequence
 # streams (same seed now yields different, but still deterministic,
@@ -38,12 +38,18 @@ from .simulation.runner import CampaignRunner
 # 2.1.0: columnar analysis engine — evaluate_md_grid / array replay_day /
 # vectorised CV, bit-identical to the retained scalar references
 # (evaluate_md_scalar, replay_day_scalar, cross_validated_predictions_scalar).
-__version__ = "2.1.0"
+# 2.2.0: scenario-grid sweep engine — ScenarioGrid / ScenarioSweepRunner /
+# SweepReport over CampaignRunner.run_tasks (heterogeneous day tasks),
+# wide_office layout, FadewichConfig.derive / CampaignScale.derive axes;
+# learning_curve now skips single-class training subsets and reports NaN
+# ci95 for sizes with zero valid repeats.
+__version__ = "2.2.0"
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
     "CampaignRunner",
+    "DayTask",
     "FadewichConfig",
     "FadewichSystem",
     "MDConfig",
@@ -52,6 +58,7 @@ __all__ = [
     "__version__",
     "paper_office",
     "quick_campaign",
+    "wide_office",
 ]
 
 

@@ -14,7 +14,9 @@ and renders it as text:
 
 :mod:`~repro.analysis.campaign` provides the shared campaign collection and
 the :class:`~repro.analysis.campaign.AnalysisContext` cache they all build
-on.
+on; :mod:`~repro.analysis.scenarios` sweeps grids of whole scenarios
+(layouts x behaviours x channels x configs x replicates) through the batch
+engines and aggregates the results into one report.
 """
 
 from .campaign import AnalysisContext, CampaignScale, collect_campaign
@@ -44,6 +46,13 @@ from .re_performance import (
     compute_learning_curves,
     render_learning_curves,
 )
+from .scenarios import (
+    ScenarioGrid,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioSweepRunner,
+    SweepReport,
+)
 from .security_eval import (
     AttackOpportunityRow,
     DeauthCurve,
@@ -69,8 +78,13 @@ __all__ = [
     "EventTable",
     "FMeasureCurve",
     "MDTableRow",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "ScenarioSweepRunner",
     "StdProfileResult",
     "StreamImportanceResult",
+    "SweepReport",
     "TradeoffPoint",
     "UsabilityTableRow",
     "VarianceCorrelationResult",

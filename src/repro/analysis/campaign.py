@@ -18,7 +18,7 @@ Two campaign scales are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +36,7 @@ from ..core.evaluation import (
 from ..core.radio_env import RadioEnvironment
 from ..core.security import DeauthOutcome
 from ..mobility.behavior import BehaviorProfile
+from ..radio.channel import ChannelConfig
 from ..radio.office import OfficeLayout, paper_office
 from ..simulation.collector import CampaignCollector, CampaignRecording
 from ..simulation.dataset import SampleDataset
@@ -100,11 +101,28 @@ class CampaignScale:
             internal_moves_per_hour=self.internal_moves_per_hour,
         )
 
+    def profiles_for(self, layout: OfficeLayout) -> Dict[str, BehaviorProfile]:
+        """The per-workstation profile map schedule generation expects."""
+        profile = self.behavior_profile()
+        return {w.workstation_id: profile for w in layout.workstations}
+
+    def derive(self, name: Optional[str] = None, **overrides) -> "CampaignScale":
+        """A copy with field overrides — the behaviour axis of scenario grids.
+
+        ``name`` defaults to the original name suffixed with ``+`` so
+        derived scales remain distinguishable in sweep reports::
+
+            CampaignScale.compact().derive("busy", departures_per_hour=12.0)
+        """
+        scale = replace(self, **overrides)
+        return replace(scale, name=name if name is not None else f"{self.name}+")
+
 
 def collect_campaign(
     seed: int = 42,
     scale: Optional[CampaignScale] = None,
     layout: Optional[OfficeLayout] = None,
+    channel_config: Optional[ChannelConfig] = None,
 ) -> CampaignRecording:
     """Collect one reproduction campaign.
 
@@ -112,20 +130,22 @@ def collect_campaign(
     ----------
     seed:
         Seed of all stochastic components (schedules, radio noise, inputs).
+        Also accepts a :class:`numpy.random.SeedSequence` (the scenario
+        sweep passes derived child seeds).
     scale:
         Campaign scale; :meth:`CampaignScale.compact` when omitted.
     layout:
         Office layout; the paper's office when omitted.
+    channel_config:
+        Radio channel configuration; the model defaults when omitted.
     """
     scale = scale if scale is not None else CampaignScale.compact()
     layout = layout if layout is not None else paper_office()
-    collector = CampaignCollector(layout, seed=seed)
-    profile = scale.behavior_profile()
-    profiles = {w.workstation_id: profile for w in layout.workstations}
+    collector = CampaignCollector(layout, channel_config=channel_config, seed=seed)
     return collector.collect_generated(
         n_days=scale.n_days,
         day_duration_s=scale.day_duration_s,
-        profiles=profiles,
+        profiles=scale.profiles_for(layout),
     )
 
 

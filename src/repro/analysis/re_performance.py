@@ -24,7 +24,14 @@ __all__ = [
 
 class _REEstimatorAdapter:
     """Adapts :class:`~repro.core.radio_env.RadioEnvironment` to the plain
-    ``fit`` / ``predict`` interface the learning-curve helper expects."""
+    ``fit`` / ``predict`` interface the learning-curve helper expects.
+
+    The adapter never trains the template it wraps: every ``fit`` goes
+    through ``clone_untrained()``, so a factory handing the *same* template
+    to every fit is stateless — fits of different folds, sizes and repeats
+    cannot leak into one another (locked by
+    ``tests/test_analysis_and_integration.py::test_learning_curve_template_stateless``).
+    """
 
     def __init__(self, re_module) -> None:
         self._template = re_module

@@ -1,0 +1,599 @@
+"""Scenario-grid sweeps: many layouts / behaviours / channels, one report.
+
+The paper evaluates one office and one behaviour profile.  This module
+turns the reproduction into a *sweep engine*: a declarative
+:class:`ScenarioGrid` enumerates the cartesian product of office layouts,
+behaviour scales, radio-channel configurations, FADEWICH configurations and
+replicate seeds, and a :class:`ScenarioSweepRunner` executes the whole grid
+through the batch machinery built in the previous PRs:
+
+* every scenario's days are collected through
+  :meth:`~repro.simulation.runner.CampaignRunner.run_tasks`, so days of
+  *different* scenarios share one worker pool;
+* every recording is analysed through a per-scenario
+  :class:`~repro.analysis.campaign.AnalysisContext`, whose
+  :meth:`~repro.analysis.campaign.AnalysisContext.md_evaluations` batch
+  path shares one rolling feature matrix per day and advances all sensor
+  counts in lockstep (the columnar engine of PR 2);
+* RE accuracy is computed through the vectorised cross-validation path.
+
+Reproducibility
+---------------
+
+All randomness derives from one root :class:`numpy.random.SeedSequence`:
+scenario ``i`` owns the child ``(SCENARIO_DOMAIN, i)`` of the sweep root,
+and its recording is bit-identical to a serial
+``CampaignCollector(layout, channel_config=..., seed=child).collect_generated(...)``
+— the scenario tests lock this equivalence.  Replicates are ordinary grid
+points (each gets its own scenario index, hence its own child seed), so a
+grid is reproducible from a single integer.
+
+The result is a :class:`SweepReport`: per-scenario Table-III-style MD rows
+and RE accuracies, a cross-scenario summary, a text rendering and a JSON
+export for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.config import FadewichConfig
+from ..radio.channel import ChannelConfig
+from ..radio.office import OfficeLayout
+from ..simulation.collector import (
+    SCENARIO_DOMAIN,
+    CampaignCollector,
+    CampaignRecording,
+    derive_seed_sequence,
+)
+from ..simulation.runner import CampaignRunner, DayTask
+from .campaign import AnalysisContext, CampaignScale
+from .md_performance import MDTableRow
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "SweepReport",
+    "ScenarioSweepRunner",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully resolved grid point.
+
+    ``index`` is the scenario's position in the grid's deterministic
+    enumeration order (layouts, then scales, then channels, then configs,
+    then replicates) and keys its derived seed; ``name`` is the
+    human-readable ``layout/scale/channel/config/rN`` path used in reports.
+    """
+
+    index: int
+    name: str
+    layout: OfficeLayout
+    scale: CampaignScale
+    channel_name: str
+    channel_config: ChannelConfig
+    config_name: str
+    config: FadewichConfig
+    replicate: int
+
+    def simulation_key(self) -> Tuple[str, str, str, int]:
+        """The identity of this scenario's *simulated* campaign.
+
+        The FADEWICH config only affects analysis, not simulation, so
+        scenarios differing solely in ``config`` share one recording (and
+        one derived seed): config effects are measured on identical data.
+        """
+        return (self.layout.name, self.scale.name, self.channel_name, self.replicate)
+
+    def describe(self) -> Dict[str, object]:
+        """The JSON-friendly identity of this scenario."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "layout": self.layout.name,
+            "scale": self.scale.name,
+            "channel": self.channel_name,
+            "config": self.config_name,
+            "replicate": self.replicate,
+            "n_days": self.scale.n_days,
+            "day_duration_s": self.scale.day_duration_s,
+            "n_workstations": len(self.layout.workstations),
+            "n_sensors_available": len(self.layout.sensors),
+        }
+
+
+class ScenarioGrid:
+    """A declarative cartesian product of sweep axes.
+
+    Parameters
+    ----------
+    layouts:
+        Office layouts; names (``layout.name``) must be unique.
+    scales:
+        Behaviour/scale axis (:class:`~repro.analysis.campaign.CampaignScale`
+        values, e.g. built with :meth:`CampaignScale.derive`); names must be
+        unique.
+    channel_configs:
+        Named radio-channel configurations (``{"default": ChannelConfig()}``
+        when omitted).
+    configs:
+        Named FADEWICH configurations (``{"default": FadewichConfig()}``
+        when omitted); build variants with :meth:`FadewichConfig.derive`.
+    n_replicates:
+        Independent repetitions of every combination; each replicate is its
+        own grid point with its own derived seed.
+    sensor_counts:
+        MD sensor-count sweep evaluated inside every scenario (counts
+        exceeding a layout's deployment are skipped for that scenario);
+        every count from 3 to the layout's maximum when omitted.
+    """
+
+    def __init__(
+        self,
+        layouts: Sequence[OfficeLayout],
+        scales: Sequence[CampaignScale],
+        channel_configs: Optional[Mapping[str, ChannelConfig]] = None,
+        configs: Optional[Mapping[str, FadewichConfig]] = None,
+        *,
+        n_replicates: int = 1,
+        sensor_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.layouts = tuple(layouts)
+        self.scales = tuple(scales)
+        self.channel_configs = dict(
+            channel_configs
+            if channel_configs is not None
+            else {"default": ChannelConfig()}
+        )
+        self.configs = dict(
+            configs if configs is not None else {"default": FadewichConfig()}
+        )
+        if not self.layouts:
+            raise ValueError("grid needs at least one layout")
+        if not self.scales:
+            raise ValueError("grid needs at least one scale")
+        if not self.channel_configs or not self.configs:
+            raise ValueError("grid needs at least one channel config and config")
+        if n_replicates < 1:
+            raise ValueError("n_replicates must be >= 1")
+        layout_names = [layout.name for layout in self.layouts]
+        if len(set(layout_names)) != len(layout_names):
+            raise ValueError(f"layout names must be unique, got {layout_names}")
+        scale_names = [scale.name for scale in self.scales]
+        if len(set(scale_names)) != len(scale_names):
+            raise ValueError(f"scale names must be unique, got {scale_names}")
+        self.n_replicates = int(n_replicates)
+        self.sensor_counts = (
+            tuple(int(n) for n in sensor_counts)
+            if sensor_counts is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return (
+            len(self.layouts)
+            * len(self.scales)
+            * len(self.channel_configs)
+            * len(self.configs)
+            * self.n_replicates
+        )
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.scenarios())
+
+    def scenarios(self) -> List[ScenarioSpec]:
+        """All grid points in deterministic enumeration order."""
+        specs: List[ScenarioSpec] = []
+        index = 0
+        for layout in self.layouts:
+            for scale in self.scales:
+                for channel_name, channel_config in self.channel_configs.items():
+                    for config_name, config in self.configs.items():
+                        for replicate in range(self.n_replicates):
+                            specs.append(
+                                ScenarioSpec(
+                                    index=index,
+                                    name=(
+                                        f"{layout.name}/{scale.name}/"
+                                        f"{channel_name}/{config_name}/"
+                                        f"r{replicate}"
+                                    ),
+                                    layout=layout,
+                                    scale=scale,
+                                    channel_name=channel_name,
+                                    channel_config=channel_config,
+                                    config_name=config_name,
+                                    config=config,
+                                    replicate=replicate,
+                                )
+                            )
+                            index += 1
+        return specs
+
+    def sensor_counts_for(self, layout: OfficeLayout) -> List[int]:
+        """The MD sensor-count sweep applicable to one layout."""
+        n_max = len(layout.sensors)
+        if self.sensor_counts is None:
+            return list(range(min(3, n_max), n_max + 1))
+        return [n for n in self.sensor_counts if n <= n_max]
+
+
+@dataclass
+class ScenarioResult:
+    """The analysed outcome of one scenario.
+
+    ``recording`` is ``None`` when the sweep ran with
+    ``keep_recordings=False`` (large grids would otherwise pin every
+    scenario's raw RSSI arrays in memory for the report's lifetime); the
+    event statistics are captured as plain ints either way.
+    """
+
+    spec: ScenarioSpec
+    n_events: int
+    n_departures: int
+    md_rows: List[MDTableRow]
+    re_accuracies: Dict[int, float] = field(default_factory=dict)
+    recording: Optional[CampaignRecording] = None
+
+    def best_f_measure(self) -> Optional[Tuple[int, float]]:
+        """``(n_sensors, f)`` of the best-performing sensor count.
+
+        ``None`` when the scenario evaluated no sensor counts (every
+        requested count exceeded the layout's deployment).
+        """
+        if not self.md_rows:
+            return None
+        best = max(self.md_rows, key=lambda row: row.counts.f_measure)
+        return best.n_sensors, best.counts.f_measure
+
+    def to_dict(self) -> Dict[str, object]:
+        md = []
+        for row in self.md_rows:
+            c = row.counts
+            md.append(
+                {
+                    "n_sensors": row.n_sensors,
+                    "tp": c.tp,
+                    "fp": c.fp,
+                    "fn": c.fn,
+                    # rates() reuses the tp/fp/fn names for fractions;
+                    # suffix them so they cannot clobber the counts.
+                    **{
+                        f"{k}_rate": round(v, 6) for k, v in row.rates.items()
+                    },
+                    "precision": round(c.precision, 6),
+                    "recall": round(c.recall, 6),
+                    "f_measure": round(c.f_measure, 6),
+                }
+            )
+        return {
+            "scenario": self.spec.describe(),
+            "n_events": self.n_events,
+            "n_departures": self.n_departures,
+            "md": md,
+            "re_accuracy": {
+                str(n): round(acc, 6) for n, acc in self.re_accuracies.items()
+            },
+        }
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of a whole scenario grid."""
+
+    results: List[ScenarioResult]
+    seed_entropy: object = None
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.results)
+
+    def result_for(self, name: str) -> ScenarioResult:
+        """Look up a scenario result by its grid-path name."""
+        for result in self.results:
+            if result.spec.name == name:
+                return result
+        raise KeyError(f"no scenario named {name!r}")
+
+    def summary(self) -> List[Dict[str, float]]:
+        """Cross-scenario MD statistics per sensor count.
+
+        For every sensor count evaluated anywhere in the grid: how many
+        scenarios evaluated it and the mean / min / max F-measure and
+        recall across them.
+        """
+        per_count: Dict[int, List[MDTableRow]] = {}
+        for result in self.results:
+            for row in result.md_rows:
+                per_count.setdefault(row.n_sensors, []).append(row)
+        summary = []
+        for n in sorted(per_count):
+            f_values = [row.counts.f_measure for row in per_count[n]]
+            recalls = [row.counts.recall for row in per_count[n]]
+            summary.append(
+                {
+                    "n_sensors": n,
+                    "n_scenarios": len(f_values),
+                    "f_mean": float(np.mean(f_values)),
+                    "f_min": float(np.min(f_values)),
+                    "f_max": float(np.max(f_values)),
+                    "recall_mean": float(np.mean(recalls)),
+                }
+            )
+        return summary
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "n_scenarios": self.n_scenarios,
+            "seed_entropy": self.seed_entropy,
+            "scenarios": [result.to_dict() for result in self.results],
+            "summary": [
+                {
+                    key: (round(value, 6) if isinstance(value, float) else value)
+                    for key, value in row.items()
+                }
+                for row in self.summary()
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path) -> None:
+        """Write the JSON export for downstream tooling."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    def render(self) -> str:
+        """The aggregate report as text: per-scenario rates + summary."""
+        lines = [f"Scenario sweep: {self.n_scenarios} scenarios"]
+        for result in self.results:
+            lines.append(
+                f"-- {result.spec.name} "
+                f"({result.n_events} events, {result.n_departures} departures) --"
+            )
+            lines.append(
+                f"{'sensors':>8} | {'TP':>10} | {'FP':>10} | {'FN':>10} | "
+                f"{'F':>6}"
+            )
+            for row in result.md_rows:
+                r, c = row.rates, row.counts
+                lines.append(
+                    f"{row.n_sensors:>8} | "
+                    f"{r['tp']:.2f} ({c.tp:>3}) | "
+                    f"{r['fp']:.2f} ({c.fp:>3}) | "
+                    f"{r['fn']:.2f} ({c.fn:>3}) | "
+                    f"{c.f_measure:6.3f}"
+                )
+            for n, acc in sorted(result.re_accuracies.items()):
+                lines.append(f"RE accuracy ({n} sensors): {acc:.3f}")
+            best = result.best_f_measure()
+            if best is None:
+                lines.append("no applicable sensor counts for this layout")
+            else:
+                n_best, f_best = best
+                lines.append(
+                    f"best MD F-measure: {f_best:.3f} at {n_best} sensors"
+                )
+        lines.append("")
+        lines.append("cross-scenario summary (MD F-measure per sensor count)")
+        lines.append(
+            f"{'sensors':>8} | {'scenarios':>9} | {'mean F':>7} | "
+            f"{'min F':>7} | {'max F':>7} | {'mean recall':>11}"
+        )
+        for row in self.summary():
+            lines.append(
+                f"{row['n_sensors']:>8} | {row['n_scenarios']:>9} | "
+                f"{row['f_mean']:7.3f} | {row['f_min']:7.3f} | "
+                f"{row['f_max']:7.3f} | {row['recall_mean']:11.3f}"
+            )
+        return "\n".join(lines)
+
+
+class ScenarioSweepRunner:
+    """Executes a :class:`ScenarioGrid` end to end.
+
+    Parameters
+    ----------
+    grid:
+        The scenario grid (or an explicit list of :class:`ScenarioSpec`).
+    seed:
+        Root seed of the whole sweep; scenario ``i`` derives the child
+        ``(SCENARIO_DOMAIN, i)``.
+    mode / max_workers:
+        Forwarded to the underlying :class:`CampaignRunner` pool; all days
+        of all scenarios share it.
+    analysis_seed:
+        Seed of the per-scenario analysis (CV shuffles), shared across
+        scenarios so analysis randomness never confounds scenario effects.
+    re_sensor_counts:
+        Sensor counts at which RE accuracy is cross-validated per scenario;
+        default: each scenario's maximum count.  Pass ``()`` to skip the RE
+        stage (MD-only sweeps are much cheaper).
+    keep_recordings:
+        Whether :class:`ScenarioResult` retains each scenario's raw
+        :class:`CampaignRecording` (default).  Disable for large grids: the
+        report only needs the aggregated numbers, while the recordings pin
+        every scenario's per-sample RSSI arrays in memory.
+    """
+
+    def __init__(
+        self,
+        grid: Union[ScenarioGrid, Sequence[ScenarioSpec]],
+        *,
+        seed: Union[int, np.random.SeedSequence, None] = 0,
+        mode: str = "process",
+        max_workers: Optional[int] = None,
+        analysis_seed: int = 0,
+        re_sensor_counts: Optional[Sequence[int]] = None,
+        keep_recordings: bool = True,
+    ) -> None:
+        if isinstance(grid, ScenarioGrid):
+            self._grid: Optional[ScenarioGrid] = grid
+            self._specs = grid.scenarios()
+        else:
+            self._grid = None
+            self._specs = list(grid)
+        if not self._specs:
+            raise ValueError("the scenario grid is empty")
+        if isinstance(seed, np.random.SeedSequence):
+            self._root = seed
+        else:
+            self._root = np.random.SeedSequence(seed)
+        self._mode = mode
+        self._max_workers = max_workers
+        self._analysis_seed = analysis_seed
+        self._re_sensor_counts = (
+            tuple(int(n) for n in re_sensor_counts)
+            if re_sensor_counts is not None
+            else None
+        )
+        self._keep_recordings = keep_recordings
+        # Scenarios differing only in FADEWICH config simulate the same
+        # campaign; enumerate the distinct simulations in spec order so
+        # their seed derivation is reproducible from the root alone.  The
+        # key is name-based, so explicit spec lists (which bypass the
+        # grid's name-uniqueness validation) must not alias specs whose
+        # names coincide but whose simulation inputs differ — that would
+        # silently analyse the wrong data.
+        self._sim_indices: Dict[Tuple[str, str, str, int], int] = {}
+        sim_inputs: Dict[Tuple[str, str, str, int], Tuple] = {}
+        for spec in self._specs:
+            key = spec.simulation_key()
+            inputs = (spec.layout, spec.scale, spec.channel_config)
+            if key not in self._sim_indices:
+                self._sim_indices[key] = len(self._sim_indices)
+                sim_inputs[key] = inputs
+            elif sim_inputs[key] != inputs:
+                raise ValueError(
+                    f"scenarios with simulation key {key} have conflicting "
+                    "layout/scale/channel definitions; give distinct names "
+                    "to distinct simulation inputs"
+                )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def specs(self) -> List[ScenarioSpec]:
+        return list(self._specs)
+
+    @property
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return self._root
+
+    def scenario_seed(self, spec: ScenarioSpec) -> np.random.SeedSequence:
+        """The derived seed root of a scenario's simulated campaign.
+
+        Keyed by the scenario's *simulation* identity: config-only variants
+        of the same campaign share the seed (and hence the recording).
+        """
+        return derive_seed_sequence(
+            self._root, SCENARIO_DOMAIN, self._sim_indices[spec.simulation_key()]
+        )
+
+    def _sensor_counts_for(self, spec: ScenarioSpec) -> List[int]:
+        if self._grid is not None:
+            return self._grid.sensor_counts_for(spec.layout)
+        n_max = len(spec.layout.sensors)
+        return list(range(min(3, n_max), n_max + 1))
+
+    # ------------------------------------------------------------------ #
+    def collect(self) -> List[Tuple[ScenarioSpec, CampaignRecording]]:
+        """Collect every scenario's campaign on one shared worker pool.
+
+        Schedule generation runs serially per scenario (it is cheap and
+        stateful on the scenario's structural stream); day collection fans
+        out across scenarios through
+        :meth:`CampaignRunner.run_tasks`.  Each scenario's recording is
+        bit-identical to a serial ``collect_generated`` with the same
+        derived seed.
+        """
+        tasks: List[DayTask] = []
+        spans: Dict[Tuple[str, str, str, int], Tuple[int, int]] = {}
+        sim_specs: Dict[Tuple[str, str, str, int], ScenarioSpec] = {}
+        for spec in self._specs:
+            key = spec.simulation_key()
+            if key in spans:
+                continue  # config-only variant: shares the recording
+            sim_specs[key] = spec
+            scenario_seed = self.scenario_seed(spec)
+            collector = CampaignCollector(
+                spec.layout,
+                channel_config=spec.channel_config,
+                seed=scenario_seed,
+            )
+            schedule = collector.make_schedule(
+                spec.scale.n_days,
+                spec.scale.day_duration_s,
+                spec.scale.profiles_for(spec.layout),
+            )
+            base = collector.next_generated_base()
+            start = len(tasks)
+            tasks.extend(
+                DayTask(
+                    day=day,
+                    seed_seq=scenario_seed,
+                    seed_base=base,
+                    layout=spec.layout,
+                    channel_config=spec.channel_config,
+                )
+                for day in schedule.days
+            )
+            spans[key] = (start, len(tasks))
+        runner = CampaignRunner(
+            self._specs[0].layout,
+            seed=self._root,
+            mode=self._mode,
+            max_workers=self._max_workers,
+        )
+        days = runner.run_tasks(tasks)
+        recordings = {
+            key: CampaignRecording(
+                days=days[a:b], layout=sim_specs[key].layout
+            )
+            for key, (a, b) in spans.items()
+        }
+        return [
+            (spec, recordings[spec.simulation_key()]) for spec in self._specs
+        ]
+
+    def analyze(
+        self, spec: ScenarioSpec, recording: CampaignRecording
+    ) -> ScenarioResult:
+        """Run the batch MD / RE analysis of one scenario recording."""
+        context = AnalysisContext(recording, spec.config, seed=self._analysis_seed)
+        counts = self._sensor_counts_for(spec)
+        evaluations = context.md_evaluations(counts)
+        md_rows = [
+            MDTableRow(n_sensors=n, counts=evaluations[n].counts) for n in counts
+        ]
+        if self._re_sensor_counts is None:
+            re_counts: Sequence[int] = [max(counts)] if counts else []
+        else:
+            re_counts = [n for n in self._re_sensor_counts if n in set(counts)]
+        re_accuracies = {n: context.re_accuracy(n) for n in re_counts}
+        return ScenarioResult(
+            spec=spec,
+            n_events=recording.total_labelled_events(),
+            n_departures=recording.total_departures(),
+            md_rows=md_rows,
+            re_accuracies=re_accuracies,
+            recording=recording if self._keep_recordings else None,
+        )
+
+    def run(self) -> SweepReport:
+        """Collect and analyse the whole grid, returning the report."""
+        results = [
+            self.analyze(spec, recording) for spec, recording in self.collect()
+        ]
+        entropy = self._root.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = list(entropy)
+        return SweepReport(results=results, seed_entropy=entropy)

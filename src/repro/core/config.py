@@ -16,6 +16,7 @@ values:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
 
 __all__ = ["FadewichConfig", "MDConfig", "REConfig"]
 
@@ -152,6 +153,30 @@ class FadewichConfig:
     def with_t_delta(self, t_delta_s: float) -> "FadewichConfig":
         """A copy with a different ``t_delta`` (used by the Figure 7 sweep)."""
         return replace(self, t_delta_s=t_delta_s)
+
+    def derive(
+        self,
+        *,
+        md: Optional[Dict[str, object]] = None,
+        re: Optional[Dict[str, object]] = None,
+        **overrides: object,
+    ) -> "FadewichConfig":
+        """A copy with field overrides, including nested MD / RE fields.
+
+        The scenario-grid constructor of :mod:`repro.analysis.scenarios`
+        builds configuration axes from this in one expression::
+
+            FadewichConfig().derive(t_delta_s=6.0, md={"alpha": 2.0})
+
+        ``md`` / ``re`` dicts patch the corresponding nested config through
+        :func:`dataclasses.replace`, so unknown field names fail loudly and
+        the patched copies re-run their validation.
+        """
+        if md:
+            overrides["md"] = replace(self.md, **md)
+        if re:
+            overrides["re"] = replace(self.re, **re)
+        return replace(self, **overrides)
 
     @property
     def misclassification_delay_s(self) -> float:

@@ -149,7 +149,9 @@ class LearningCurveResult:
         Mean test accuracy across folds and repeats, per training size.
     ci95:
         Half-width of the 95 % confidence interval across repeats, per size
-        (the error bars of Figure 8).
+        (the error bars of Figure 8).  ``NaN`` — like ``mean_accuracy`` —
+        for sizes no repeat could evaluate (e.g. every training subset of
+        that size was single-class).
     all_scores:
         Raw matrix of shape ``(len(train_sizes), n_repeats)`` of per-repeat
         fold-averaged accuracies.
@@ -178,6 +180,12 @@ def learning_curve(
     is trained on the first ``m`` samples of the training fold (shuffled) and
     scored on the test fold.  The per-repeat score of a size is the mean over
     folds; the reported mean and 95 % confidence interval are over repeats.
+
+    Training subsets containing a single class are skipped: a one-class fit
+    degenerates to a constant predictor, which would silently bias small
+    training sizes on imbalanced data.  Sizes for which *no* fold of any
+    repeat produced a valid fit report ``NaN`` mean *and* ``NaN`` ci95
+    (never a misleading zero-width interval).
     """
     X = np.atleast_2d(np.asarray(X, dtype=float))
     y = np.asarray(y)
@@ -196,7 +204,7 @@ def learning_curve(
                 if s > shuffled.size:
                     continue
                 subset = shuffled[:s]
-                if np.unique(y[subset]).size < 1:
+                if np.unique(y[subset]).size < 2:
                     continue
                 est = make_estimator()
                 est.fit(X[subset], y[subset])
@@ -208,11 +216,14 @@ def learning_curve(
             if vals:
                 scores[si, rep] = float(np.mean(vals))
 
-    mean = np.nanmean(scores, axis=1)
-    std = np.nanstd(scores, axis=1)
     counts = np.sum(~np.isnan(scores), axis=1)
-    counts[counts == 0] = 1
-    ci95 = 1.96 * std / np.sqrt(counts)
+    valid = counts > 0
+    mean = np.full(sizes.size, np.nan)
+    ci95 = np.full(sizes.size, np.nan)
+    if valid.any():
+        mean[valid] = np.nanmean(scores[valid], axis=1)
+        std = np.nanstd(scores[valid], axis=1)
+        ci95[valid] = 1.96 * std / np.sqrt(counts[valid])
     return LearningCurveResult(
         train_sizes=sizes, mean_accuracy=mean, ci95=ci95, all_scores=scores
     )

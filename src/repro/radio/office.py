@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .geometry import Point
 
-__all__ = ["Sensor", "Workstation", "OfficeLayout", "paper_office"]
+__all__ = ["Sensor", "Workstation", "OfficeLayout", "paper_office", "wide_office"]
 
 
 @dataclass(frozen=True)
@@ -174,4 +174,42 @@ def paper_office() -> OfficeLayout:
         workstations=workstations,
         door=door,
         name="paper-office",
+    )
+
+
+def wide_office() -> OfficeLayout:
+    """A larger 8 m x 4 m office with four workstations.
+
+    A "future work" what-if deployment for scenario sweeps: the same nine
+    sensors spread along the walls of a wider room, one extra workstation,
+    and longer workstation-to-door walks.  Compared with the paper's office
+    the links are longer and the desks sit further from the door, so MD
+    sees weaker per-crossing attenuation — a useful stress variant.
+    """
+    width, height = 8.0, 4.0
+    sensors = (
+        Sensor("d1", Point(7.9, 2.0)),
+        Sensor("d2", Point(1.3, 0.1)),
+        Sensor("d3", Point(3.1, 0.1)),
+        Sensor("d4", Point(4.9, 0.1)),
+        Sensor("d5", Point(6.7, 0.1)),
+        Sensor("d6", Point(7.2, 3.9)),
+        Sensor("d7", Point(5.3, 3.9)),
+        Sensor("d8", Point(3.4, 3.9)),
+        Sensor("d9", Point(1.5, 3.9)),
+    )
+    workstations = (
+        Workstation("w1", Point(7.2, 3.0), seat=Point(6.8, 2.7)),
+        Workstation("w2", Point(5.2, 3.2), seat=Point(5.2, 2.8)),
+        Workstation("w3", Point(3.2, 3.2), seat=Point(3.2, 2.8)),
+        Workstation("w4", Point(1.4, 3.0), seat=Point(1.7, 2.7)),
+    )
+    door = Point(0.2, 0.5)
+    return OfficeLayout(
+        width=width,
+        height=height,
+        sensors=sensors,
+        workstations=workstations,
+        door=door,
+        name="wide-office",
     )

@@ -19,13 +19,14 @@ from .collector import (
     derive_seed_sequence,
 )
 from .dataset import LabeledSample, SampleDataset
-from .runner import CampaignRunner
+from .runner import CampaignRunner, DayTask
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
     "CampaignRunner",
     "DayRecording",
+    "DayTask",
     "LabeledSample",
     "SampleDataset",
     "SimulationClock",

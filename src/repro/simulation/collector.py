@@ -85,15 +85,19 @@ __all__ = [
     "DAY_DOMAIN",
     "CAMPAIGN_DOMAIN",
     "GENERATED_DOMAIN",
+    "SCENARIO_DOMAIN",
 ]
 
 #: Spawn-key domains of the collector's seed-derivation scheme.  Keeping the
-#: domains distinct guarantees the structural, per-day and per-campaign
-#: streams never collide.
+#: domains distinct guarantees the structural, per-day, per-campaign and
+#: per-scenario streams never collide.
 STRUCTURAL_DOMAIN = 0
 DAY_DOMAIN = 1
 CAMPAIGN_DOMAIN = 2
 GENERATED_DOMAIN = 3
+#: Scenario ``i`` of a :class:`~repro.analysis.scenarios.ScenarioSweepRunner`
+#: grid derives its root from the sweep seed at ``(SCENARIO_DOMAIN, i)``.
+SCENARIO_DOMAIN = 4
 
 #: Minimum body speed (m/s) attributed to a walking person.  Standing up,
 #: turning and opening the door are part of a walk's "pause" legs: the body

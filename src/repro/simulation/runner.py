@@ -15,6 +15,11 @@ yields bit-identical output to collecting it serially after days 0-2.
   ``(CAMPAIGN_DOMAIN, i)`` of the runner's root
   :class:`~numpy.random.SeedSequence`, so the fleet is reproducible from a
   single integer seed.
+* :meth:`CampaignRunner.run_tasks` — execute an explicit list of
+  :class:`DayTask` items, each optionally overriding the layout and channel
+  configuration.  This is the heterogeneous entry point the scenario-grid
+  sweep (:mod:`repro.analysis.scenarios`) drives: days of *different*
+  scenarios (layouts, channel configs, seeds) share one worker pool.
 
 Outputs are plain :class:`~repro.simulation.collector.CampaignRecording`
 objects — the same type ``CampaignCollector.collect`` returns — so they
@@ -35,6 +40,7 @@ import os
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -52,7 +58,7 @@ from .collector import (
 )
 from ..mobility.scheduler import CampaignSchedule, DaySchedule
 
-__all__ = ["CampaignRunner"]
+__all__ = ["CampaignRunner", "DayTask"]
 
 _MODES = ("process", "thread", "serial")
 
@@ -88,6 +94,29 @@ def _collect_day_task(
         layout, clock=clock, channel_config=channel_config, seed=seed_seq
     )
     return collector.collect_day(day, seed_base=seed_base)
+
+
+@dataclass(frozen=True)
+class DayTask:
+    """One day-collection work item of :meth:`CampaignRunner.run_tasks`.
+
+    ``layout`` / ``clock`` / ``channel_config`` left as ``None`` inherit the
+    runner's own defaults, so homogeneous callers (:meth:`CampaignRunner.run`
+    and friends) and heterogeneous callers (the scenario sweep, which mixes
+    layouts and channel configurations in one pool) share the same executor
+    plumbing.  The day's random streams derive from ``seed_base`` (or, when
+    that is ``None``, from ``seed_seq``) and the day index exactly as in
+    :meth:`~repro.simulation.collector.CampaignCollector.collect_day`, so a
+    task's result is bit-identical to a serial collection with the same
+    seed.
+    """
+
+    day: DaySchedule
+    seed_seq: np.random.SeedSequence
+    seed_base: Optional[np.random.SeedSequence] = None
+    layout: Optional[OfficeLayout] = None
+    clock: Optional[SimulationClock] = None
+    channel_config: Optional[ChannelConfig] = None
 
 
 class CampaignRunner:
@@ -160,42 +189,81 @@ class CampaignRunner:
         cap = self._max_workers if self._max_workers else (os.cpu_count() or 1)
         return max(1, min(cap, n_tasks))
 
-    def _collectors_for(self, tasks: Sequence[tuple]) -> dict:
-        """One collector per distinct seed (collect_day shares safely)."""
+    def _resolve(self, task: DayTask) -> DayTask:
+        """Fill a task's ``None`` fields with the runner's own defaults."""
+        return DayTask(
+            day=task.day,
+            seed_seq=task.seed_seq,
+            seed_base=task.seed_base,
+            layout=task.layout if task.layout is not None else self._layout,
+            clock=task.clock if task.clock is not None else self._clock,
+            channel_config=(
+                task.channel_config
+                if task.channel_config is not None
+                else self._channel_config
+            ),
+        )
+
+    @staticmethod
+    def _collector_key(task: DayTask):
+        """Collector-sharing identity of a resolved task.
+
+        Object identity is the right granularity for the layout and channel
+        config: distinct-but-equal objects get distinct collectors, which
+        costs only cheap re-construction, while the seed identity must be
+        structural so equal seeds share one collector.
+        """
+        return (
+            id(task.layout),
+            id(task.clock),
+            id(task.channel_config),
+            _seed_key(task.seed_seq),
+        )
+
+    def _collectors_for(self, tasks: Sequence[DayTask]) -> dict:
+        """One collector per distinct (layout, channel, seed) triple.
+
+        ``collect_day`` never touches the structural stream, so a collector
+        can be shared by many days of the same scenario — including across
+        threads (the thread-vs-serial bit-identity test locks this).
+        """
         collectors: dict = {}
-        for seed_seq, _, _ in tasks:
-            key = _seed_key(seed_seq)
+        for task in tasks:
+            key = self._collector_key(task)
             if key not in collectors:
-                collectors[key] = self._make_collector(seed_seq)
+                collectors[key] = CampaignCollector(
+                    task.layout,
+                    clock=task.clock,
+                    channel_config=task.channel_config,
+                    seed=task.seed_seq,
+                )
         return collectors
 
-    def _collect_serial(self, tasks: Sequence[tuple]) -> List[DayRecording]:
+    def _collect_serial(self, tasks: Sequence[DayTask]) -> List[DayRecording]:
         collectors = self._collectors_for(tasks)
         return [
-            collectors[_seed_key(seed_seq)].collect_day(day, seed_base=base)
-            for seed_seq, day, base in tasks
+            collectors[self._collector_key(task)].collect_day(
+                task.day, seed_base=task.seed_base
+            )
+            for task in tasks
         ]
 
-    def _collect_days(
-        self, tasks: Sequence[tuple]
-    ) -> List[DayRecording]:
-        """Collect ``(seed_seq, day, seed_base)`` tasks, preserving order."""
+    def _collect_days(self, tasks: Sequence[DayTask]) -> List[DayRecording]:
+        """Collect resolved :class:`DayTask` items, preserving order."""
         if self._mode == "serial" or len(tasks) <= 1:
             return self._collect_serial(tasks)
         if self._mode == "thread":
-            # collect_day never touches the structural stream, so one
-            # collector per distinct seed can be shared across threads.
             collectors = self._collectors_for(tasks)
             with ThreadPoolExecutor(
                 max_workers=self._worker_count(len(tasks))
             ) as pool:
                 futures = [
                     pool.submit(
-                        collectors[_seed_key(seed_seq)].collect_day,
-                        day,
-                        seed_base=base,
+                        collectors[self._collector_key(task)].collect_day,
+                        task.day,
+                        seed_base=task.seed_base,
                     )
-                    for seed_seq, day, base in tasks
+                    for task in tasks
                 ]
                 return [f.result() for f in futures]
         # Process mode.  Only pool-infrastructure failures (no fork in this
@@ -214,14 +282,14 @@ class CampaignRunner:
                     futures = [
                         pool.submit(
                             _collect_day_task,
-                            self._layout,
-                            self._clock,
-                            self._channel_config,
-                            seed_seq,
-                            day,
-                            base,
+                            task.layout,
+                            task.clock,
+                            task.channel_config,
+                            task.seed_seq,
+                            task.day,
+                            task.seed_base,
                         )
-                        for seed_seq, day, base in tasks
+                        for task in tasks
                     ]
                 except (OSError, PermissionError, BrokenProcessPool) as exc:
                     # Worker spawn failed (e.g. fork blocked by the host).
@@ -247,7 +315,10 @@ class CampaignRunner:
         ``CampaignCollector(layout, seed=seed).collect(schedule)`` would.
         """
         require_unique_day_indices(schedule.days)
-        tasks = [(self._root, day, None) for day in schedule.days]
+        tasks = [
+            self._resolve(DayTask(day=day, seed_seq=self._root))
+            for day in schedule.days
+        ]
         days = self._collect_days(tasks)
         return CampaignRecording(days=days, layout=self._layout)
 
@@ -273,7 +344,10 @@ class CampaignRunner:
         # The schedule collector also owns the generated-campaign counter,
         # so runner and serial collector derive identical seed bases.
         base = self._schedule_collector.next_generated_base()
-        tasks = [(self._root, day, base) for day in schedule.days]
+        tasks = [
+            self._resolve(DayTask(day=day, seed_seq=self._root, seed_base=base))
+            for day in schedule.days
+        ]
         days = self._collect_days(tasks)
         return CampaignRecording(days=days, layout=self._layout)
 
@@ -292,13 +366,31 @@ class CampaignRunner:
             require_unique_day_indices(schedule.days)
             seed_i = derive_seed_sequence(self._root, CAMPAIGN_DOMAIN, i)
             start = len(tasks)
-            tasks.extend((seed_i, day, None) for day in schedule.days)
+            tasks.extend(
+                self._resolve(DayTask(day=day, seed_seq=seed_i))
+                for day in schedule.days
+            )
             spans.append((start, len(tasks)))
         days = self._collect_days(tasks)
         return [
             CampaignRecording(days=days[a:b], layout=self._layout)
             for a, b in spans
         ]
+
+    def run_tasks(self, tasks: Sequence[DayTask]) -> List[DayRecording]:
+        """Execute explicit :class:`DayTask` items on the runner's pool.
+
+        The heterogeneous entry point: tasks may carry their own layout,
+        clock and channel configuration (``None`` fields inherit the
+        runner's defaults), so days of entirely different scenarios share
+        one worker pool.  Results are returned in task order, each
+        bit-identical to a serial
+        ``CampaignCollector(layout, ...).collect_day(day, seed_base=...)``
+        with the task's seeds.  Callers mixing scenarios are responsible
+        for seed hygiene across tasks (the scenario sweep derives one child
+        seed per scenario from a single root).
+        """
+        return self._collect_days([self._resolve(task) for task in tasks])
 
     def campaign_seed(self, index: int) -> np.random.SeedSequence:
         """The derived root seed of campaign ``index`` in :meth:`run_many`."""

@@ -104,6 +104,27 @@ class TestREAnalysis:
         assert np.nanmin(acc) >= 0.0
         assert "Figure 8" in render_learning_curves(curves)
 
+    def test_learning_curve_template_stateless(self, analysis_context):
+        """The shared RE template is never trained by the curve fits.
+
+        ``compute_learning_curves`` hands every fit an adapter around the
+        *same* RE module; each fit must go through ``clone_untrained()``,
+        leaving the template untouched so fits cannot leak into one another
+        — identical repeated runs are the observable consequence.
+        """
+        re_module, _ = analysis_context.sample_dataset(9)
+        assert not re_module.is_trained
+        first = compute_learning_curves(
+            analysis_context, sensor_counts=[9], train_sizes=[10], n_repeats=2
+        )
+        assert not re_module.is_trained, "learning curve trained the template"
+        second = compute_learning_curves(
+            analysis_context, sensor_counts=[9], train_sizes=[10], n_repeats=2
+        )
+        np.testing.assert_array_equal(
+            first[0].result.all_scores, second[0].result.all_scores
+        )
+
 
 class TestSecurityAnalyses:
     def test_deauth_curves_monotone_in_sensors(self, analysis_context):

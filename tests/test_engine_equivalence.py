@@ -346,6 +346,72 @@ class TestRunnerEquivalence:
             for a, b in zip(direct.days, via_runner.days):
                 assert_days_identical(a, b)
 
+    def test_thread_mode_bit_identical_over_multi_day_schedule(self):
+        """Thread mode shares one collector across worker threads; that is
+        only sound if ``collect_day`` is reentrant (it must never touch the
+        structural stream or any other collector state).  Lock bit-identity
+        against serial execution over a generated multi-day schedule large
+        enough that several threads really interleave."""
+        from repro.mobility.behavior import BehaviorProfile
+        from repro.mobility.scheduler import ScheduleGenerator
+
+        layout = paper_office()
+        profile = BehaviorProfile(
+            departures_per_hour=8.0,
+            mean_absence_s=90.0,
+            min_absence_s=40.0,
+            internal_moves_per_hour=3.0,
+        )
+        schedule = ScheduleGenerator(
+            layout,
+            {w.workstation_id: profile for w in layout.workstations},
+            rng=np.random.default_rng(13),
+        ).generate_campaign(6, 500.0)
+
+        serial = CampaignRunner(layout, seed=21, mode="serial").run(schedule)
+        threaded = CampaignRunner(
+            layout, seed=21, mode="thread", max_workers=4
+        ).run(schedule)
+        assert threaded.n_days == serial.n_days == 6
+        for a, b in zip(serial.days, threaded.days):
+            assert_days_identical(a, b)
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_run_tasks_mixes_layouts_and_seeds(self, mode):
+        """Heterogeneous day tasks (different layouts, channels and seeds in
+        one pool) must each match a dedicated serial collector."""
+        from repro.radio.channel import ChannelConfig
+        from repro.simulation.runner import DayTask
+
+        big, small = paper_office(), small_office()
+        quiet = ChannelConfig(slow_drift_sigma_db=0.1)
+        seed_a = np.random.SeedSequence(3)
+        seed_b = np.random.SeedSequence(4)
+        tasks = [
+            DayTask(day=busy_day(0), seed_seq=seed_a, layout=big),
+            DayTask(
+                day=busy_day(0),
+                seed_seq=seed_a,
+                layout=small,
+                channel_config=quiet,
+            ),
+            DayTask(day=busy_day(1), seed_seq=seed_b, layout=small),
+            DayTask(day=busy_day(2), seed_seq=seed_a, layout=big),
+        ]
+        runner = CampaignRunner(big, seed=0, mode=mode, max_workers=3)
+        results = runner.run_tasks(tasks)
+        references = [
+            CampaignCollector(big, seed=seed_a).collect_day(busy_day(0)),
+            CampaignCollector(
+                small, channel_config=quiet, seed=seed_a
+            ).collect_day(busy_day(0)),
+            CampaignCollector(small, seed=seed_b).collect_day(busy_day(1)),
+            CampaignCollector(big, seed=seed_a).collect_day(busy_day(2)),
+        ]
+        assert len(results) == len(references)
+        for got, want in zip(results, references):
+            assert_days_identical(got, want)
+
     def test_thread_mode_accepts_list_entropy_seed(self):
         # SeedSequence([...]) stores its entropy as a list; the thread-mode
         # collector cache must not choke on the unhashable entropy.

@@ -50,6 +50,9 @@ GOLDEN_F_PEAKS = {
 
 #: Figure 8 — final out-of-fold accuracy per sensor count
 #: (n_repeats=3, seed=0 keeps the golden run fast but fully pinned).
+#: Verified unchanged by the single-class-subset guard of
+#: ``learning_curve``: at these final (largest) training sizes every
+#: subset already contains at least two classes, so no fit is skipped.
 GOLDEN_FINAL_ACCURACY = {
     3: 0.3071428571428571,
     9: 0.678949938949939,

@@ -160,6 +160,68 @@ class TestCrossValidation:
                 lambda: OneVsOneSVC(), np.zeros((4, 1)), [0, 1, 0, 1], train_sizes=[]
             )
 
+    def test_learning_curve_skips_single_class_subsets(self):
+        """Single-class training subsets are skipped, not fit (regression).
+
+        With one minority sample, every size-1 subset (and most size-2
+        subsets) is single-class; the old ``< 1`` guard was dead code, so a
+        degenerate constant classifier was silently scored.  Record every
+        fit's training labels and assert each saw at least two classes.
+        """
+        fitted_label_sets = []
+
+        class RecordingEstimator:
+            def fit(self, X, y):
+                fitted_label_sets.append(set(np.asarray(y).tolist()))
+                self._majority = max(set(y), key=list(y).count)
+                return self
+
+            def predict(self, X):
+                return np.full(np.atleast_2d(X).shape[0], self._majority)
+
+        X = np.arange(24, dtype=float).reshape(12, 2)
+        y = np.array(["a"] * 11 + ["b"])
+        result = learning_curve(
+            RecordingEstimator,
+            X,
+            y,
+            train_sizes=[1, 2, 8],
+            n_folds=3,
+            n_repeats=4,
+            rng=np.random.default_rng(0),
+        )
+        assert fitted_label_sets, "no fit ever ran"
+        assert all(len(labels) >= 2 for labels in fitted_label_sets)
+        # Size 1 can never contain two classes: NaN mean AND NaN ci95.
+        assert np.isnan(result.mean_accuracy[0])
+        assert np.isnan(result.ci95[0])
+
+    def test_learning_curve_nan_ci95_for_empty_sizes(self):
+        """Sizes with zero valid repeats report NaN ci95, not 0 (regression).
+
+        The old code clamped the repeat count to 1, reporting a confident
+        ``ci95 = 0`` next to a NaN mean.
+        """
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 2))
+        y = np.array(["a"] * 9 + ["b"])
+        result = learning_curve(
+            lambda: OneVsOneSVC(kernel="linear"),
+            X,
+            y,
+            train_sizes=[1, 5],
+            n_folds=2,
+            n_repeats=2,
+            rng=rng,
+        )
+        empty = np.isnan(result.all_scores).all(axis=1)
+        assert empty[0], "size 1 should have no valid repeats"
+        assert np.isnan(result.ci95[empty]).all()
+        assert np.isnan(result.mean_accuracy[empty]).all()
+        # Sizes that did produce scores keep finite statistics.
+        if (~empty).any():
+            assert np.isfinite(result.ci95[~empty]).all()
+
 
 class TestMutualInformation:
     def test_quantize_range(self, rng):
