@@ -10,16 +10,27 @@ rates) so the whole benchmark suite runs in minutes; pass
 ``--paper-scale`` to run the full five 8-hour days instead.
 
 Timing-gate robustness: the throughput benchmarks (engine >= 5x, MD grid
->= 2.5x, replay >= 5x, sweep <= 1.3x per-scenario overhead) assert on
-wall-clock ratios, which are noisy on loaded CI runners.  The shared
-``best_of`` fixture times each side as the best of ``--bench-repeats``
-runs — the minimum is the standard robust estimator for "how fast can this
-code go", since external load only ever *adds* time — and ``speedup_gate``
-renders and asserts the ratio uniformly across the gate benchmarks.
+>= 5x, replay >= 5x, learning curve >= 3x, sweep <= 1.3x per-scenario
+overhead) assert on wall-clock ratios, which are noisy on loaded CI
+runners.  The shared ``best_of`` fixture times each side as the best of
+``--bench-repeats`` runs — the minimum is the standard robust estimator
+for "how fast can this code go", since external load only ever *adds*
+time — and ``speedup_gate`` renders and asserts the ratio uniformly
+across the gate benchmarks.
+
+Machine-readable results: every ``speedup_gate`` invocation is also
+recorded (reference/fast wall times, measured ratio, required ratio,
+pass/fail) and written to the ``--bench-json`` file at session end,
+*merged* with any results already in the file — the CI smoke steps each
+run a different benchmark module into the same ``BENCH_results.json``,
+which is then uploaded as a build artifact so the perf trajectory is
+tracked across commits.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 
 import pytest
@@ -82,6 +93,15 @@ def pytest_addoption(parser):
         "the best (minimum) time is used, making the gates robust to "
         "loaded runners",
     )
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        default="BENCH_results.json",
+        help="file the per-gate speedup factors and wall times are written "
+        "to at session end (merged with existing content so several "
+        "benchmark invocations accumulate into one report); pass an empty "
+        "string to disable",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -132,13 +152,16 @@ def best_of(request):
 
 
 @pytest.fixture(scope="session")
-def speedup_gate():
-    """Uniform render-and-assert for the throughput gates.
+def speedup_gate(request):
+    """Uniform render-record-and-assert for the throughput gates.
 
     ``gate(label, t_reference, t_fast, min_speedup, detail=...)`` prints
-    both timings and the measured ratio, asserts
-    ``t_reference / t_fast >= min_speedup`` and returns the ratio.
+    both timings and the measured ratio, records the measurement for the
+    ``--bench-json`` report (before asserting, so failed gates are
+    reported too), asserts ``t_reference / t_fast >= min_speedup`` and
+    returns the ratio.
     """
+    results = _bench_results(request.config)
 
     def _gate(
         label: str,
@@ -151,6 +174,14 @@ def speedup_gate():
         detail: str = "",
     ) -> float:
         speedup = t_reference / t_fast
+        results[label] = {
+            "reference_s": round(t_reference, 6),
+            "fast_s": round(t_fast, 6),
+            "speedup": round(speedup, 4),
+            "min_required": min_speedup,
+            "passed": bool(speedup >= min_speedup),
+            "detail": detail,
+        }
         print(
             f"\n{label}{f' ({detail})' if detail else ''}:\n"
             f"  {reference_name}: {t_reference:8.3f}s\n"
@@ -164,3 +195,37 @@ def speedup_gate():
         return speedup
 
     return _gate
+
+
+def _bench_results(config) -> dict:
+    """The session's gate-measurement store (lazily created)."""
+    if not hasattr(config, "_bench_gate_results"):
+        config._bench_gate_results = {}
+    return config._bench_gate_results
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write (merge) the recorded gate measurements into ``--bench-json``.
+
+    Merging lets the CI smoke steps — separate pytest invocations over
+    different benchmark modules — accumulate into one
+    ``BENCH_results.json`` artifact.
+    """
+    path = session.config.getoption("--bench-json")
+    results = _bench_results(session.config)
+    if not path or not results:
+        return
+    report = {"schema": 1, "gates": {}}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                existing = json.load(fh)
+            if isinstance(existing.get("gates"), dict):
+                report["gates"] = existing["gates"]
+        except (OSError, ValueError):
+            pass
+    for label, entry in results.items():
+        report["gates"][label] = dict(entry, recorded_at=time.time())
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

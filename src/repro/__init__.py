@@ -43,7 +43,15 @@ from .simulation.runner import CampaignRunner, DayTask
 # wide_office layout, FadewichConfig.derive / CampaignScale.derive axes;
 # learning_curve now skips single-class training subsets and reports NaN
 # ci95 for sizes with zero valid repeats.
-__version__ = "2.2.0"
+# 2.3.0: root-finding threshold engine + shared-gram learning curve —
+# mixture_quantiles (safeguarded Newton, warm starts, active rows) behind
+# GaussianKDE.percentile and the lockstep profile grid (bisection retained
+# as bisect_quantiles; thresholds re-pinned within the old tol=1e-6);
+# slice-stable kernels, kernel="precomputed" SVC fits, incremental SMO
+# error cache (original formulation retained behind error_cache=False),
+# SVCFoldFitter shared-gram/warm-start learning-curve engine used by
+# Figure 8; GaussianKDE.sample now requires an explicit Generator.
+__version__ = "2.3.0"
 
 __all__ = [
     "CampaignCollector",

@@ -3,6 +3,12 @@
 The figure contrasts the ``s_t`` values observed while the office is quiet
 ("normal") with those observed while a user is walking, together with the
 Gaussian-KDE density of the normal profile and its 99th percentile.
+
+The percentile line is produced by the shared safeguarded-Newton quantile
+engine (:func:`repro.ml.kde.mixture_quantiles`) — the same threshold rule
+Algorithm 1 now uses online and in the lockstep grid, within ``1e-6`` of
+the retained bisection rule it re-pinned (``bisect_quantiles``), so the
+figure's threshold is exactly the one the detector acts on.
 """
 
 from __future__ import annotations

@@ -3,6 +3,13 @@
 The paper evaluates the RE classifier with 5-fold cross-validation repeated
 10 times, training on increasing numbers of samples and reporting the test
 accuracy with 95 % confidence intervals, for 3 / 5 / 7 / 9 sensors.
+
+Each curve runs through the shared-Gram fast path
+(:meth:`~repro.core.radio_env.RadioEnvironment.curve_fitter`): one scaler,
+one kernel and one Gram matrix per (repeat, fold), every training-size
+prefix fitted on index-sliced Gram views.  The RE template itself is never
+trained by the curve fits (locked by
+``tests/test_analysis_and_integration.py::test_learning_curve_template_stateless``).
 """
 
 from __future__ import annotations
@@ -20,31 +27,6 @@ __all__ = [
     "compute_learning_curves",
     "render_learning_curves",
 ]
-
-
-class _REEstimatorAdapter:
-    """Adapts :class:`~repro.core.radio_env.RadioEnvironment` to the plain
-    ``fit`` / ``predict`` interface the learning-curve helper expects.
-
-    The adapter never trains the template it wraps: every ``fit`` goes
-    through ``clone_untrained()``, so a factory handing the *same* template
-    to every fit is stateless — fits of different folds, sizes and repeats
-    cannot leak into one another (locked by
-    ``tests/test_analysis_and_integration.py::test_learning_curve_template_stateless``).
-    """
-
-    def __init__(self, re_module) -> None:
-        self._template = re_module
-        self._fitted = None
-
-    def fit(self, X, y):
-        self._fitted = self._template.clone_untrained().fit_arrays(X, y)
-        return self
-
-    def predict(self, X):
-        if self._fitted is None:
-            raise RuntimeError("fit() must be called before predict()")
-        return np.asarray(self._fitted.classify_many(X), dtype=object)
 
 
 @dataclass(frozen=True)
@@ -102,13 +84,14 @@ def compute_learning_curves(
         else:
             sizes = [s for s in train_sizes if s <= max_train] or [max_train]
         result = learning_curve(
-            lambda: _REEstimatorAdapter(re_module),
+            None,
             X,
             y,
             sizes,
             n_folds=n_folds,
             n_repeats=n_repeats,
             rng=np.random.default_rng(seed),
+            fitter=re_module.curve_fitter(),
         )
         curves.append(AccuracyCurve(n_sensors=n, result=result))
     return curves

@@ -290,7 +290,7 @@ def _evaluate_md_sets(
             evaluations[key].days.append(
                 DayEvaluation(
                     day_index=day.day_index,
-                    trace=day.trace.restricted_to(stream_sets[key]),
+                    trace=day.trace.restricted_view(stream_sets[key]),
                     md_result=md_result,
                     match=match,
                     events=list(scored),

@@ -29,12 +29,15 @@ Scalar reference and batch path
 :class:`NormalProfile` (driven one observation at a time) is the semantics
 reference for Algorithm 1's profile.  :func:`run_profile_grid` replays the
 same arithmetic column-by-column over whole arrays: identical KDE data
-windows, identical Scott bandwidths, and a lockstep replication of
-:meth:`~repro.ml.kde.GaussianKDE.percentile`'s bracketed bisection, so its
-decisions and thresholds are **bit-for-bit identical** to feeding
-:meth:`NormalProfile.observe` the same values (see
-``tests/test_analysis_equivalence.py``).  Any change to one side must keep
-the other in sync.
+windows, identical Scott bandwidths, and the *same* threshold solver —
+both paths delegate to the shared safeguarded-Newton quantile engine
+(:func:`~repro.ml.kde.mixture_quantiles`), whose per-row arithmetic is
+independent of batching and which only evaluates the mixture CDF on
+still-active rows.  Decisions and thresholds are therefore **bit-for-bit
+identical** to feeding :meth:`NormalProfile.observe` the same values (see
+``tests/test_analysis_equivalence.py``).  Both sides warm-start each
+threshold from the chain's previous threshold, which is what makes profile
+updates nearly free.  Any change to one side must keep the other in sync.
 """
 
 from __future__ import annotations
@@ -44,9 +47,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
-from scipy.special import erf
 
-from ..ml.kde import GaussianKDE
+from ..ml.kde import GaussianKDE, mixture_quantiles
 from ..radio.trace import RssiTrace, StreamBuffer
 from .config import MDConfig
 from .windows import VariationWindow
@@ -142,8 +144,13 @@ class NormalProfile:
         return self._kde
 
     def _rebuild_threshold(self) -> None:
+        # Warm-start from the chain's previous threshold: profile updates
+        # only nudge the KDE window, so the old threshold is an excellent
+        # initial guess for the Newton solver.
         assert self._kde is not None
-        self._threshold = self._kde.percentile(100.0 - self._config.alpha)
+        self._threshold = self._kde.percentile(
+            100.0 - self._config.alpha, x0=self._threshold
+        )
 
     def observe(self, s_t: float) -> Optional[bool]:
         """Feed one ``s_t`` value; return whether it is anomalous.
@@ -336,17 +343,24 @@ def rolling_std_matrix(
     if n < window_samples:
         raise ValueError("trace shorter than the std window")
     matrix = np.column_stack([trace.streams[sid] for sid in trace.stream_ids])
-    # Rolling mean/variance via cumulative sums.
+    # Rolling mean/variance via cumulative sums.  All combining steps run
+    # in place on the fresh temporaries (bit-identical values, roughly
+    # half the large allocations of the naive expression chain).
     csum = np.cumsum(matrix, axis=0)
-    csum2 = np.cumsum(matrix ** 2, axis=0)
+    np.multiply(matrix, matrix, out=matrix)
+    csum2 = np.cumsum(matrix, axis=0)
     w = window_samples
     sum_w = csum[w - 1 :].copy()
     sum_w[1:] -= csum[: n - w]
     sum2_w = csum2[w - 1 :].copy()
     sum2_w[1:] -= csum2[: n - w]
-    mean = sum_w / w
-    var = np.maximum(sum2_w / w - mean ** 2, 0.0)
-    return trace.times[w - 1 :], np.sqrt(var)
+    sum_w /= w          # rolling mean
+    sum2_w /= w
+    np.multiply(sum_w, sum_w, out=sum_w)
+    np.subtract(sum2_w, sum_w, out=sum2_w)
+    np.maximum(sum2_w, 0.0, out=sum2_w)
+    np.sqrt(sum2_w, out=sum2_w)
+    return trace.times[w - 1 :], sum2_w
 
 
 def rolling_std_sum(trace: RssiTrace, window_samples: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -419,78 +433,6 @@ class ProfileGridResult:
     thresholds: np.ndarray
 
 
-_SQRT2 = np.sqrt(2.0)
-
-
-class _LockstepKDE:
-    """Percentile queries for many independent KDE profiles in lockstep.
-
-    Replicates :meth:`~repro.ml.kde.GaussianKDE.percentile` (bracket
-    expansion + bisection on the Gaussian-mixture CDF) for every row of a
-    ``(n_profiles, n_data)`` data matrix at once.  Per-row arithmetic is the
-    exact operation sequence of the scalar implementation, so the resulting
-    thresholds are bit-identical; the lockstep merely amortises the numpy
-    dispatch overhead across profiles.
-    """
-
-    def __init__(self, data: np.ndarray, bandwidths: np.ndarray) -> None:
-        self._data = data
-        self._h = bandwidths
-        self._n = data.shape[1]
-        self._buf = np.empty_like(data)
-        self._x = np.empty((data.shape[0], 1))
-
-    def cdf(self, x: np.ndarray) -> np.ndarray:
-        """Row-wise CDF at ``x`` — same op chain as ``GaussianKDE.cdf``."""
-        buf = self._buf
-        xc = self._x
-        xc[:, 0] = x
-        np.subtract(xc, self._data, out=buf)
-        np.divide(buf, self._h[:, None], out=buf)
-        np.divide(buf, _SQRT2, out=buf)
-        erf(buf, out=buf)
-        np.add(buf, 1.0, out=buf)
-        np.multiply(buf, 0.5, out=buf)
-        return np.add.reduce(buf, axis=1) / float(self._n)
-
-    def percentiles(
-        self, q: float, *, tol: float = 1e-6, max_iter: int = 200
-    ) -> np.ndarray:
-        """Row-wise ``GaussianKDE.percentile(q)`` (same ``tol``/``max_iter``)."""
-        target = q / 100.0
-        data, h = self._data, self._h
-        lo = data.min(axis=1) - 10.0 * h
-        hi = data.max(axis=1) + 10.0 * h
-        rows = data.shape[0]
-        # Expand until the CDF brackets the target (scalar: up to 64 steps).
-        active = np.ones(rows, dtype=bool)
-        for _ in range(64):
-            active &= ~(self.cdf(lo) <= target)
-            if not active.any():
-                break
-            lo[active] -= 10.0 * h[active]
-        active = np.ones(rows, dtype=bool)
-        for _ in range(64):
-            active &= ~(self.cdf(hi) >= target)
-            if not active.any():
-                break
-            hi[active] += 10.0 * h[active]
-        # Bisection; converged rows freeze their brackets, exactly like the
-        # scalar loop breaking out early.
-        active = np.ones(rows, dtype=bool)
-        for _ in range(max_iter):
-            mid = 0.5 * (lo + hi)
-            below = self.cdf(mid) < target
-            move_lo = active & below
-            move_hi = active & ~below
-            lo[move_lo] = mid[move_lo]
-            hi[move_hi] = mid[move_hi]
-            active &= ~((hi - lo) < tol)
-            if not active.any():
-                break
-        return 0.5 * (lo + hi)
-
-
 def _scott_bandwidths(data: np.ndarray) -> np.ndarray:
     """Row-wise Scott bandwidths, replicating ``scott_bandwidth`` exactly."""
     n = data.shape[1]
@@ -537,7 +479,8 @@ def run_profile_grid(
     Per column this produces exactly the decisions and thresholds of
     feeding the values one by one to :meth:`NormalProfile.observe`: the
     initialisation KDE, the batched accept/reject updates and the
-    percentile bisection all replicate the scalar arithmetic bit for bit.
+    warm-started Newton quantile solve all replicate the scalar arithmetic
+    bit for bit (both paths share :func:`~repro.ml.kde.mixture_quantiles`).
     """
     cfg = config if config is not None else MDConfig()
     if init_samples < 2:
@@ -566,7 +509,7 @@ def run_profile_grid(
     # a real copy, never a view of the caller's matrix.
     data = std_sums[:n0].T.copy()
     bandwidths = _scott_bandwidths(data)
-    th = _LockstepKDE(data, bandwidths).percentiles(q)
+    th = mixture_quantiles(data, bandwidths, q)
     thresholds[n0 - 1] = th
 
     b = cfg.batch_size
@@ -590,7 +533,9 @@ def run_profile_grid(
                 updated = np.ascontiguousarray(data[idx])
                 new_h = _scott_bandwidths(updated)
                 bandwidths[idx] = new_h
-                th[idx] = _LockstepKDE(updated, new_h).percentiles(q)
+                # Warm-start the accepted columns from their previous
+                # thresholds, exactly like NormalProfile._rebuild_threshold.
+                th[idx] = mixture_quantiles(updated, new_h, q, x0=th[idx])
                 # The scalar path updates the threshold while observing the
                 # batch's last value, so the trace shows the new threshold
                 # there already.

@@ -23,6 +23,7 @@ import numpy as np
 from ..ml.features import FeatureExtractor
 from ..ml.multiclass import OneVsOneSVC
 from ..ml.scaling import StandardScaler
+from ..ml.validation import SVCFoldFitter
 from ..radio.trace import RssiTrace
 from ..simulation.dataset import LabeledSample, SampleDataset
 from .config import REConfig
@@ -171,6 +172,30 @@ class RadioEnvironment:
     ) -> str:
         """Extract the sample for a window and classify it in one call."""
         return self.classify(self.extract_sample(trace, window, t_delta_s))
+
+    def curve_fitter(self, shared_gram: bool = True) -> SVCFoldFitter:
+        """The learning-curve fold fitter for this RE configuration.
+
+        Used by the Figure 8 protocol: per (repeat, fold) the fitter fixes
+        one :class:`~repro.ml.scaling.StandardScaler` and one kernel on the
+        full training fold, then fits every training-size prefix on shared
+        Gram views (``shared_gram=True``, the fast path) or on the raw rows
+        with a fresh per-fit Gram (``shared_gram=False``, the retained
+        bit-identical reference).
+
+        Note the deliberate semantic difference from :meth:`fit_arrays`,
+        which standardises and resolves the kernel per training subset:
+        fold-level preprocessing is what makes the Gram matrix shareable
+        across training sizes, scales the test fold consistently for every
+        size, and gives all pairwise machines one common kernel.
+        """
+        cfg = self.config
+        return SVCFoldFitter(
+            C=cfg.svm_c,
+            kernel=cfg.svm_kernel,
+            random_state=self.random_state,
+            shared_gram=shared_gram,
+        )
 
     # ------------------------------------------------------------------ #
     def clone_untrained(self) -> "RadioEnvironment":

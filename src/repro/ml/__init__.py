@@ -28,8 +28,21 @@ from .features import (
     window_entropy,
     window_variance,
 )
-from .kde import GaussianKDE, scott_bandwidth, silverman_bandwidth
-from .kernels import Kernel, LinearKernel, PolynomialKernel, RBFKernel, make_kernel
+from .kde import (
+    GaussianKDE,
+    bisect_quantiles,
+    mixture_quantiles,
+    scott_bandwidth,
+    silverman_bandwidth,
+)
+from .kernels import (
+    Kernel,
+    LinearKernel,
+    PolynomialKernel,
+    RBFKernel,
+    make_kernel,
+    scale_gamma,
+)
 from .metrics import (
     DetectionCounts,
     accuracy,
@@ -52,6 +65,7 @@ from .scaling import MinMaxScaler, StandardScaler
 from .svm import BinarySVC, SVMNotFittedError
 from .validation import (
     LearningCurveResult,
+    SVCFoldFitter,
     cross_val_scores,
     kfold_indices,
     learning_curve,
@@ -74,9 +88,11 @@ __all__ = [
     "OneVsOneSVC",
     "PolynomialKernel",
     "RBFKernel",
+    "SVCFoldFitter",
     "SVMNotFittedError",
     "StandardScaler",
     "accuracy",
+    "bisect_quantiles",
     "conditional_entropy",
     "confusion_matrix",
     "correlation_matrix",
@@ -86,6 +102,8 @@ __all__ = [
     "learning_curve",
     "make_kernel",
     "marginal_entropy",
+    "mixture_quantiles",
+    "scale_gamma",
     "most_correlated_pairs",
     "precision",
     "quantize",

@@ -48,6 +48,13 @@ def window_entropy(window: Sequence[float], bins: int = 16) -> float:
         raise ValueError("entropy of an empty window is undefined")
     if bins < 1:
         raise ValueError("bins must be >= 1")
+    # np.histogram cannot split a denormal-width value range into multiple
+    # finite bins; such a window is constant for any practical purpose and
+    # has zero entropy (one occupied bin), like an exactly-constant one.
+    spread = float(window.max() - window.min())
+    with np.errstate(over="ignore"):
+        if spread > 0.0 and not np.isfinite(np.float64(bins) / spread):
+            return 0.0
     counts, _ = np.histogram(window, bins=bins)
     total = counts.sum()
     if total == 0:

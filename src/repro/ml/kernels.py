@@ -8,6 +8,23 @@ from scratch on top of numpy.
 A kernel is represented by a :class:`Kernel` object exposing a single
 ``__call__(X, Y)`` computing the Gram matrix between two sample matrices of
 shapes ``(n, d)`` and ``(m, d)``.
+
+Slice stability
+---------------
+
+Every kernel here guarantees **slice stability**: each Gram entry depends
+only on its own pair of rows, so
+
+``kernel(X[idx], Y[jdx]) == kernel(X, Y)[np.ix_(idx, jdx)]``
+
+holds *bitwise*, for any index subsets.  This is what makes precomputed-
+kernel SVC fits (``kernel="precomputed"`` on index-sliced Gram views)
+bit-identical to direct fits on the same row subsets — the contract the
+shared-Gram learning-curve fast path is built on.  BLAS matrix products do
+**not** have this property (their accumulation order depends on the matrix
+shapes), so the cross terms are computed with ``np.einsum`` (plain C loops
+whose per-element reduction order depends only on the feature axis); do not
+"optimise" them back to ``@``.
 """
 
 from __future__ import annotations
@@ -22,14 +39,41 @@ __all__ = [
     "RBFKernel",
     "PolynomialKernel",
     "make_kernel",
+    "scale_gamma",
 ]
+
+
+def scale_gamma(X: np.ndarray) -> float:
+    """The ``"scale"`` heuristic ``1 / (n_features * Var(X))``.
+
+    The shared gamma default of the SVM substrate (libsvm's ``"scale"``):
+    used by :class:`~repro.ml.svm.BinarySVC` at fit time and by the
+    learning-curve fold fitters when fixing one kernel per fold.
+    Degenerate (constant or empty) data falls back to ``1 / n_features``.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    var = float(X.var()) if X.size else 1.0
+    if var <= 0.0:
+        var = 1.0
+    return 1.0 / (X.shape[1] * var)
+
+
+def _cross_dot(X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+    """Slice-stable pairwise dot products ``out[i, j] = X[i] . Y[j]``.
+
+    ``np.einsum`` (without ``optimize``) reduces over the feature axis with
+    a fixed per-element order, unlike BLAS ``X @ Y.T`` whose blocking — and
+    hence rounding — depends on the operand shapes.
+    """
+    return np.einsum("ik,jk->ij", X, Y)
 
 
 class Kernel:
     """Base class for kernel functions.
 
     Subclasses implement :meth:`gram` returning the kernel matrix
-    ``K[i, j] = k(X[i], Y[j])``.
+    ``K[i, j] = k(X[i], Y[j])``, computed slice-stably (see the module
+    docstring).
     """
 
     name = "base"
@@ -49,7 +93,7 @@ class Kernel:
     def diagonal(self, X: np.ndarray) -> np.ndarray:
         """Return ``k(x_i, x_i)`` for each row of ``X`` (used by SMO)."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        return np.einsum("ij,ij->i", X, X) if False else np.diag(self(X, X))
+        return np.diag(self(X, X))
 
 
 @dataclass
@@ -59,7 +103,7 @@ class LinearKernel(Kernel):
     name = "linear"
 
     def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        return X @ Y.T
+        return _cross_dot(X, Y)
 
     def diagonal(self, X: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))
@@ -85,7 +129,7 @@ class RBFKernel(Kernel):
     def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         sq_x = np.einsum("ij,ij->i", X, X)[:, None]
         sq_y = np.einsum("ij,ij->i", Y, Y)[None, :]
-        sq_dist = np.maximum(sq_x + sq_y - 2.0 * (X @ Y.T), 0.0)
+        sq_dist = np.maximum(sq_x + sq_y - 2.0 * _cross_dot(X, Y), 0.0)
         return np.exp(-self.gamma * sq_dist)
 
     def diagonal(self, X: np.ndarray) -> np.ndarray:
@@ -103,7 +147,7 @@ class PolynomialKernel(Kernel):
     name = "poly"
 
     def gram(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
-        return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+        return (self.gamma * _cross_dot(X, Y) + self.coef0) ** self.degree
 
     def diagonal(self, X: np.ndarray) -> np.ndarray:
         X = np.atleast_2d(np.asarray(X, dtype=float))

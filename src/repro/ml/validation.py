@@ -5,6 +5,23 @@ The paper evaluates the RE classifier with 5-fold cross-validation repeated
 plots a learning curve over increasing training-set sizes.  This module
 provides plain and stratified k-fold splitters plus the repeated
 learning-curve machinery, without any external ML dependency.
+
+Shared-Gram learning curves
+---------------------------
+
+Within one (repeat, fold) of the Figure 8 protocol, every training subset
+of size ``s`` is a *prefix* of the same shuffled training fold — so the
+Gram matrices of all sizes are leading principal submatrices of a single
+per-fold kernel matrix, and all test predictions read from one cached
+``(n_test, n_train)`` Gram block.  :class:`SVCFoldFitter` exploits exactly
+that: ``learning_curve`` hands it the shuffled fold once
+(:meth:`~SVCFoldFitter.begin_fold`), and every per-size fit becomes an
+index-sliced ``kernel="precomputed"`` fit.  Because the kernels are
+slice-stable (:mod:`repro.ml.kernels`), the shared-Gram path is
+bit-identical to the retained per-fit reference
+(``SVCFoldFitter(shared_gram=False)``), which computes a fresh kernel per
+fit — the equivalence contract ``benchmarks/test_analysis_throughput.py``
+gates.
 """
 
 from __future__ import annotations
@@ -14,7 +31,10 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .kernels import Kernel, make_kernel, scale_gamma
 from .metrics import accuracy
+from .multiclass import OneVsOneSVC
+from .scaling import StandardScaler
 
 __all__ = [
     "kfold_indices",
@@ -24,6 +44,7 @@ __all__ = [
     "cross_val_scores",
     "learning_curve",
     "LearningCurveResult",
+    "SVCFoldFitter",
 ]
 
 
@@ -137,6 +158,135 @@ def cross_val_scores(
     return np.asarray(scores)
 
 
+@dataclass
+class SVCFoldFitter:
+    """Per-fold learning-curve fitter for (optionally scaled) SVC stacks.
+
+    A *fold fitter* is the per-fold strategy object ``learning_curve``
+    drives instead of a plain estimator factory: ``begin_fold`` receives
+    the whole shuffled training fold (plus the test fold) once, and
+    ``fit_predict`` then scores one prefix size.  Any object with those two
+    methods works; this implementation covers the SVC stack of the paper
+    (standard scaling + one-vs-one SMO machines).
+
+    Parameters mirror :class:`~repro.ml.multiclass.OneVsOneSVC`; ``scale``
+    prepends a :class:`~repro.ml.scaling.StandardScaler` fitted on the full
+    training fold, and ``gamma=None`` resolves the RBF/poly coefficient
+    with the shared ``"scale"`` heuristic on the (scaled) training fold —
+    one preprocessing and one kernel per fold, the invariants that make the
+    Gram matrix shareable across training sizes.
+
+    With ``shared_gram=True`` (the fast path), ``begin_fold`` computes one
+    train x train and one test x train Gram block; every per-size fit is an
+    index-sliced ``kernel="precomputed"`` fit and every prediction reads
+    cached test-row columns.  With ``shared_gram=False`` (the retained
+    reference), each size fits directly on the sample rows with the same
+    fold-level kernel object — bit-identical results, one fresh Gram per
+    fit.
+
+    ``warm_start`` exploits the same prefix structure on the *solver* side:
+    each pairwise SMO machine of size ``s`` is initialised from the dual
+    state of the previous (smaller) size's fit (zero-padded alphas remain
+    dual-feasible because a pair's samples keep their relative order across
+    prefixes).  Warm-started solves converge to a KKT point of the same
+    ``tol`` quality in far fewer steps, but generally a *different* one
+    within that tolerance — so ``warm_start=False`` is the configuration
+    whose scores are bit-identical across ``shared_gram`` modes, and the
+    default fast path (both flags on) is pinned by the golden tests
+    instead.
+    """
+
+    C: float = 1.0
+    kernel: object = "rbf"
+    gamma: Optional[float] = None
+    tol: float = 1e-3
+    max_passes: int = 5
+    max_iter: int = 200
+    random_state: Optional[int] = None
+    scale: bool = True
+    shared_gram: bool = True
+    warm_start: bool = True
+    #: ``False`` drops every fit to the retained original SMO formulation
+    #: (full error-vector recomputation per candidate step) — the per-fit
+    #: *performance* baseline of the Figure 8 throughput gate.  The
+    #: *bit-identity* reference keeps the cache on and only disables
+    #: ``shared_gram``/``warm_start``.
+    error_cache: bool = True
+
+    def _fold_kernel(self, X_train: np.ndarray) -> Kernel:
+        """Resolve the fold-level kernel (fixed across training sizes)."""
+        if isinstance(self.kernel, Kernel):
+            return self.kernel
+        name = str(self.kernel)
+        if name == "precomputed":
+            raise ValueError(
+                "SVCFoldFitter computes its own Gram matrices; pass the "
+                "underlying kernel, not 'precomputed'"
+            )
+        if name == "linear":
+            return make_kernel("linear")
+        gamma = self.gamma if self.gamma is not None else scale_gamma(X_train)
+        return make_kernel(name, gamma=gamma)
+
+    def _make_svc(self, kernel: object) -> OneVsOneSVC:
+        return OneVsOneSVC(
+            C=self.C,
+            kernel=kernel,
+            gamma=self.gamma,
+            tol=self.tol,
+            max_passes=self.max_passes,
+            max_iter=self.max_iter,
+            random_state=self.random_state,
+            error_cache=self.error_cache,
+        )
+
+    def begin_fold(
+        self, X_train: np.ndarray, y_train: np.ndarray, X_test: np.ndarray
+    ) -> dict:
+        """Fold-level setup: scaling, kernel resolution and (shared) Grams.
+
+        ``X_train`` arrives in the shuffled fold order — every training
+        subset evaluated by ``fit_predict`` is a leading prefix of it.
+        """
+        X_train = np.atleast_2d(np.asarray(X_train, dtype=float))
+        X_test = np.atleast_2d(np.asarray(X_test, dtype=float))
+        y_train = np.asarray(y_train)
+        if self.scale:
+            scaler = StandardScaler().fit(X_train)
+            X_train = scaler.transform(X_train)
+            X_test = scaler.transform(X_test)
+        kernel = self._fold_kernel(X_train)
+        state = {"y": y_train, "kernel": kernel}
+        if self.shared_gram:
+            state["K_train"] = kernel(X_train, X_train)
+            state["K_test"] = kernel(X_test, X_train)
+        else:
+            state["X_train"] = X_train
+            state["X_test"] = X_test
+        return state
+
+    def fit_predict(self, state: dict, size: int) -> np.ndarray:
+        """Fit on the first ``size`` fold rows; predict the test fold.
+
+        ``learning_curve`` evaluates sizes in increasing order, so with
+        ``warm_start`` each fit continues from the previous prefix's dual
+        state (kept in ``state``).
+        """
+        y = state["y"][:size]
+        warm = state.get("pair_states") if self.warm_start else None
+        if self.shared_gram:
+            clf = self._make_svc("precomputed")
+            clf.fit(state["K_train"][:size, :size], y, warm_init=warm)
+            predicted = clf.predict(state["K_test"][:, :size])
+        else:
+            clf = self._make_svc(state["kernel"])
+            clf.fit(state["X_train"][:size], y, warm_init=warm)
+            predicted = clf.predict(state["X_test"])
+        if self.warm_start:
+            state["pair_states"] = clf.pair_states()
+        return predicted
+
+
 @dataclass(frozen=True)
 class LearningCurveResult:
     """Learning-curve data: accuracy as a function of training-set size.
@@ -164,7 +314,7 @@ class LearningCurveResult:
 
 
 def learning_curve(
-    make_estimator: Callable[[], object],
+    make_estimator: Optional[Callable[[], object]],
     X: np.ndarray,
     y: Sequence,
     train_sizes: Sequence[int],
@@ -172,6 +322,7 @@ def learning_curve(
     n_folds: int = 5,
     n_repeats: int = 10,
     rng: Optional[np.random.Generator] = None,
+    fitter: Optional[object] = None,
 ) -> LearningCurveResult:
     """Reproduce the paper's Figure 8 protocol.
 
@@ -181,12 +332,24 @@ def learning_curve(
     scored on the test fold.  The per-repeat score of a size is the mean over
     folds; the reported mean and 95 % confidence interval are over repeats.
 
+    The work per fold is delegated either to a plain estimator factory
+    (``make_estimator``: one fresh ``fit``/``predict`` object per subset)
+    or to a *fold fitter* (``fitter``: an object with ``begin_fold(X_train,
+    y_train, X_test)`` and ``fit_predict(state, size)``, e.g.
+    :class:`SVCFoldFitter`), which sees the whole shuffled training fold
+    once and can therefore share per-fold work — kernel matrices above all
+    — across the training sizes.  Exactly one of the two must be given;
+    both consume the random stream identically, so swapping a factory for
+    an equivalent fitter never changes the folds.
+
     Training subsets containing a single class are skipped: a one-class fit
     degenerates to a constant predictor, which would silently bias small
     training sizes on imbalanced data.  Sizes for which *no* fold of any
     repeat produced a valid fit report ``NaN`` mean *and* ``NaN`` ci95
     (never a misleading zero-width interval).
     """
+    if (make_estimator is None) == (fitter is None):
+        raise ValueError("provide exactly one of make_estimator and fitter")
     X = np.atleast_2d(np.asarray(X, dtype=float))
     y = np.asarray(y)
     if rng is None:
@@ -200,17 +363,31 @@ def learning_curve(
         fold_scores: Dict[int, List[float]] = {int(s): [] for s in sizes}
         for train_idx, test_idx in stratified_kfold_indices(y, n_folds, rng):
             shuffled = rng.permutation(train_idx)
+            if test_idx.size == 0:
+                # A dataset barely above n_folds can leave a fold without
+                # test samples (round-robin stratification); there is
+                # nothing to score, so the fold contributes no values.
+                # The permutation above is still drawn, keeping the random
+                # stream — and hence every other fold — unchanged.
+                continue
+            fold_state = None  # built lazily: folds may have no valid size
             for s in sizes:
                 if s > shuffled.size:
                     continue
                 subset = shuffled[:s]
                 if np.unique(y[subset]).size < 2:
                     continue
-                est = make_estimator()
-                est.fit(X[subset], y[subset])
-                fold_scores[int(s)].append(
-                    accuracy(y[test_idx], est.predict(X[test_idx]))
-                )
+                if fitter is not None:
+                    if fold_state is None:
+                        fold_state = fitter.begin_fold(
+                            X[shuffled], y[shuffled], X[test_idx]
+                        )
+                    predicted = fitter.fit_predict(fold_state, int(s))
+                else:
+                    est = make_estimator()
+                    est.fit(X[subset], y[subset])
+                    predicted = est.predict(X[test_idx])
+                fold_scores[int(s)].append(accuracy(y[test_idx], predicted))
         for si, s in enumerate(sizes):
             vals = fold_scores[int(s)]
             if vals:

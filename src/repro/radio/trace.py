@@ -144,7 +144,7 @@ class RssiTrace:
         return dict(sliced.streams)
 
     def restricted_to(self, stream_ids: Iterable[str]) -> "RssiTrace":
-        """A trace containing only the named streams."""
+        """A trace containing only the named streams (independent copies)."""
         wanted = list(stream_ids)
         missing = [sid for sid in wanted if sid not in self.streams]
         if missing:
@@ -153,6 +153,25 @@ class RssiTrace:
             times=self.times.copy(),
             streams={sid: self.streams[sid].copy() for sid in wanted},
         )
+
+    def restricted_view(self, stream_ids: Iterable[str]) -> "RssiTrace":
+        """Zero-copy variant of :meth:`restricted_to` for read-only use.
+
+        The returned trace *shares* the timestamp and stream arrays with
+        this one and skips re-validation (this trace was already checked on
+        construction).  The evaluation pipeline restricts each recorded day
+        once per sensor subset, so the copies and the strictly-increasing
+        re-check of :meth:`restricted_to` are pure overhead there; use the
+        copying variant whenever the result may be mutated.
+        """
+        wanted = list(stream_ids)
+        missing = [sid for sid in wanted if sid not in self.streams]
+        if missing:
+            raise KeyError(f"missing streams: {missing}")
+        trace = RssiTrace.__new__(RssiTrace)
+        trace.times = self.times
+        trace.streams = {sid: self.streams[sid] for sid in wanted}
+        return trace
 
     @staticmethod
     def from_samples(

@@ -18,7 +18,13 @@ from repro.core.config import FadewichConfig
 
 GOLDEN_SEED = 42
 
-#: Table III — (tp, fp, fn) per sensor count.
+#: Table III — (tp, fp, fn) per sensor count.  Verified unchanged by the
+#: PR-4 threshold-rule re-pin (bracketed bisection -> safeguarded Newton):
+#: the per-threshold deltas are bounded by the old ``tol=1e-6`` (measured
+#: max 6.3e-7 across random profiles, ``tests/test_properties.py``), and
+#: no ``s_t`` observation of the golden campaign sits that close to its
+#: threshold, so every decision — and hence every count below, and the
+#: Figure 7 peaks — is bit-for-bit identical to the bisection era.
 GOLDEN_MD_COUNTS = {
     3: (38, 1, 35),
     4: (44, 2, 29),
@@ -50,12 +56,19 @@ GOLDEN_F_PEAKS = {
 
 #: Figure 8 — final out-of-fold accuracy per sensor count
 #: (n_repeats=3, seed=0 keeps the golden run fast but fully pinned).
-#: Verified unchanged by the single-class-subset guard of
-#: ``learning_curve``: at these final (largest) training sizes every
-#: subset already contains at least two classes, so no fit is skipped.
+#: Consciously re-pinned for the shared-Gram learning-curve engine
+#: (PR 4): the curve now fixes one StandardScaler and one kernel per
+#: (repeat, fold) instead of per training subset — the invariant that
+#: makes the fold's Gram matrix shareable across sizes — and the SMO
+#: solver (incremental error cache, extremum-based second choice,
+#: warm-started prefix fits) reaches tol-equivalent but not bitwise-equal
+#: stationary points.  Old values (per-subset scaler, pre-cache SMO):
+#: {3: 0.3071428571428571, 9: 0.678949938949939} — the shift is within
+#: the curves' own ci95.  The fold splits themselves are unchanged (the
+#: fitter consumes the random stream exactly like the per-fit path).
 GOLDEN_FINAL_ACCURACY = {
-    3: 0.3071428571428571,
-    9: 0.678949938949939,
+    3: 0.28174603174603174,
+    9: 0.6664102564102564,
 }
 
 

@@ -73,6 +73,47 @@ class TestGaussianKDE:
         samples = kde.sample(500, rng)
         assert abs(np.mean(samples) - 100.0) < 1.0
 
+    def test_sample_requires_explicit_rng(self, rng):
+        # Library code must never silently fall back to a fresh global
+        # generator; every draw belongs to an explicit seed stream.
+        kde = GaussianKDE(rng.normal(size=20))
+        with pytest.raises(TypeError):
+            kde.sample(5)
+        with pytest.raises(TypeError):
+            kde.sample(5, None)
+
+    def test_sample_is_reproducible_per_seed(self, rng):
+        kde = GaussianKDE(rng.normal(size=50))
+        a = kde.sample(20, np.random.default_rng(7))
+        b = kde.sample(20, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_percentile_warm_start_matches_cold(self, rng):
+        kde = GaussianKDE(rng.normal(10.0, 2.0, size=100))
+        cold = kde.percentile(99.0)
+        warm = kde.percentile(99.0, x0=cold + 0.3)
+        assert warm == pytest.approx(cold, abs=2e-6)
+
+    def test_percentile_of_invalid_profile_raises(self):
+        # The bracket guard: non-finite profile data must raise loudly
+        # instead of silently iterating on a [NaN, NaN] bracket (the old
+        # expansion loops exhausted their 64 steps and proceeded anyway).
+        kde = GaussianKDE([1.0, 2.0, 3.0])
+        kde._data[1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            kde.percentile(99.0)
+
+    def test_mixture_quantiles_validates_shapes(self, rng):
+        from repro.ml.kde import mixture_quantiles
+
+        data = rng.normal(size=(3, 10))
+        with pytest.raises(ValueError, match="one value per profile"):
+            mixture_quantiles(data, np.ones(2), 50.0)
+        with pytest.raises(ValueError, match="matrix"):
+            mixture_quantiles(data[0], np.ones(1), 50.0)
+        with pytest.raises(ValueError, match="within"):
+            mixture_quantiles(data, np.ones(3), 101.0)
+
     def test_bandwidth_rules_positive(self, rng):
         data = rng.normal(size=100)
         assert scott_bandwidth(data) > 0

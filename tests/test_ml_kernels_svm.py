@@ -185,3 +185,141 @@ class TestOneVsOneSVC:
     def test_mismatched_lengths_raise(self):
         with pytest.raises(ValueError):
             OneVsOneSVC().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+
+class TestPrecomputedKernel:
+    """``kernel="precomputed"``: Gram-view fits, bit-identical to direct."""
+
+    def _data(self, rng, n=60, d=12, classes=3):
+        X = rng.normal(size=(n, d))
+        y = rng.integers(0, classes, n)
+        return X, y
+
+    def test_binary_precomputed_fit_bit_identical_to_direct(self, rng):
+        X, y = self._data(rng, classes=2)
+        kern = RBFKernel(gamma=0.15)
+        K = kern(X, X)
+        for _ in range(3):
+            idx = np.sort(rng.choice(X.shape[0], size=40, replace=False))
+            direct = BinarySVC(C=5.0, kernel=kern, random_state=0).fit(X[idx], y[idx])
+            pre = BinarySVC(C=5.0, kernel="precomputed", random_state=0).fit(
+                K[np.ix_(idx, idx)], y[idx]
+            )
+            np.testing.assert_array_equal(direct.dual_coef_, pre.dual_coef_)
+            np.testing.assert_array_equal(direct.support_idx_, pre.support_idx_)
+            assert direct.intercept_ == pre.intercept_
+
+    def test_ovo_precomputed_predictions_bit_identical_to_direct(self, rng):
+        X, y = self._data(rng)
+        kern = RBFKernel(gamma=0.15)
+        K = kern(X, X)
+        idx = np.sort(rng.choice(X.shape[0], size=45, replace=False))
+        test = np.setdiff1d(np.arange(X.shape[0]), idx)
+        direct = OneVsOneSVC(C=5.0, kernel=kern, random_state=0).fit(X[idx], y[idx])
+        pre = OneVsOneSVC(C=5.0, kernel="precomputed", random_state=0).fit(
+            K[np.ix_(idx, idx)], y[idx]
+        )
+        np.testing.assert_array_equal(
+            direct.predict(X[test]), pre.predict(kern(X[test], X[idx]))
+        )
+        # Cached test-row columns of a bigger Gram block work identically.
+        K_all = kern(X, X[idx])
+        np.testing.assert_array_equal(
+            pre.predict(K_all[test]), direct.predict(X[test])
+        )
+
+    def test_precomputed_requires_square_gram(self, rng):
+        X, y = self._data(rng, classes=2)
+        with pytest.raises(ValueError, match="square"):
+            BinarySVC(kernel="precomputed").fit(X[:10, :5], y[:10])
+        with pytest.raises(ValueError, match="square"):
+            OneVsOneSVC(kernel="precomputed").fit(X[:10, :5], y[:10])
+
+    def test_precomputed_predict_validates_columns(self, rng):
+        X, y = self._data(rng, classes=2)
+        K = LinearKernel()(X, X)
+        clf = BinarySVC(kernel="precomputed").fit(K[:30, :30], y[:30])
+        with pytest.raises(ValueError, match="training columns"):
+            clf.decision_function(K[:5, :10])
+
+
+class TestSMOErrorCache:
+    """The incremental error cache and its retained reference formulation."""
+
+    def _binary(self, rng, n=50):
+        X = np.vstack([
+            rng.normal(-1.0, 1.0, size=(n // 2, 6)),
+            rng.normal(1.0, 1.0, size=(n - n // 2, 6)),
+        ])
+        y = np.array([0] * (n // 2) + [1] * (n - n // 2))
+        return X, y
+
+    def test_fixed_seed_fits_are_bit_identical(self, rng):
+        X, y = self._binary(rng)
+        fits = [
+            BinarySVC(C=2.0, kernel="rbf", gamma=0.2, random_state=7).fit(X, y)
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(fits[0].dual_coef_, fits[1].dual_coef_)
+        np.testing.assert_array_equal(fits[0].alpha_, fits[1].alpha_)
+        assert fits[0].intercept_ == fits[1].intercept_
+
+    def test_reference_formulation_reaches_same_quality(self, rng):
+        X, y = self._binary(rng, n=60)
+        cached = BinarySVC(C=2.0, kernel="linear", random_state=0).fit(X, y)
+        reference = BinarySVC(
+            C=2.0, kernel="linear", random_state=0, error_cache=False
+        ).fit(X, y)
+        assert cached.score(X, y) >= reference.score(X, y) - 0.05
+
+    def test_dual_constraints_hold_after_cached_fit(self, rng):
+        """The incremental updates preserve the SMO dual invariants.
+
+        Every accepted (i, j) step must keep the box constraints
+        ``0 <= alpha <= C`` and conserve ``sum(alpha * y)`` (each step
+        moves the pair along the equality constraint); a buggy cache
+        update would break them silently.
+        """
+        X, y = self._binary(rng, n=40)
+        clf = BinarySVC(C=1.0, kernel="linear", random_state=0).fit(X, y)
+        y_signed = np.where(y == clf.classes_[1], 1.0, -1.0)
+        assert np.all(clf.alpha_ >= 0.0)
+        assert np.all(clf.alpha_ <= clf.C)
+        assert abs(float(clf.alpha_ @ y_signed)) < 1e-7
+
+    def test_warm_start_converges_to_valid_solution(self, rng):
+        X, y = self._binary(rng, n=60)
+        kern = LinearKernel()
+        K = kern(X, X)
+        cold_small = BinarySVC(C=1.0, kernel="precomputed", random_state=0).fit(
+            K[:30, :30], y[:30]
+        )
+        warm = BinarySVC(C=1.0, kernel="precomputed", random_state=0)
+        warm.fit(K, y, init=(cold_small.alpha_, cold_small.intercept_))
+        cold = BinarySVC(C=1.0, kernel="precomputed", random_state=0).fit(K, y)
+        # Same tol-quality stationary point: train accuracy matches cold.
+        assert (
+            abs(float(np.mean(warm.predict(K) == y)) - float(np.mean(cold.predict(K) == y)))
+            <= 0.05
+        )
+
+    def test_warm_start_rejects_oversized_alpha(self, rng):
+        X, y = self._binary(rng, n=20)
+        with pytest.raises(ValueError, match="warm-start"):
+            BinarySVC(kernel="linear").fit(X, y, init=(np.zeros(25), 0.0))
+
+    def test_ovo_pair_states_roundtrip_as_warm_init(self, rng):
+        X = np.vstack([rng.normal(c, 0.8, size=(15, 4)) for c in (0.0, 3.0, 6.0)])
+        y = np.repeat(np.array(["a", "b", "c"]), 15)
+        perm = rng.permutation(45)
+        X, y = X[perm], y[perm]
+        kern = LinearKernel()
+        K = kern(X, X)
+        small = OneVsOneSVC(C=1.0, kernel="precomputed", random_state=0).fit(
+            K[:30, :30], y[:30]
+        )
+        states = small.pair_states()
+        assert set(states) == {("a", "b"), ("a", "c"), ("b", "c")}
+        big = OneVsOneSVC(C=1.0, kernel="precomputed", random_state=0)
+        big.fit(K, y, warm_init=states)
+        assert float(np.mean(big.predict(K) == y)) > 0.8

@@ -22,6 +22,7 @@ from repro.ml.mutual_info import (
     stream_importance,
 )
 from repro.ml.validation import (
+    SVCFoldFitter,
     cross_val_scores,
     kfold_indices,
     learning_curve,
@@ -320,3 +321,96 @@ class TestCorrelation:
         pairs = most_correlated_pairs(result, top_k=3)
         assert pairs[0][:2] == ("a", "b")
         assert abs(pairs[0][2]) >= abs(pairs[-1][2])
+
+
+class TestSVCFoldFitter:
+    """Shared-Gram / warm-start learning-curve fitters."""
+
+    def _data(self, seed=0, n_per=30, d=8):
+        rng = np.random.default_rng(seed)
+        X = np.vstack([rng.normal(c, 1.2, size=(n_per, d)) for c in (0.0, 2.0, 4.0)])
+        y = np.repeat(np.array(["a", "b", "c"]), n_per)
+        return X, y
+
+    def _curve(self, X, y, fitter, seed=1):
+        return learning_curve(
+            None, X, y, [6, 12, 24, 48], n_folds=3, n_repeats=2,
+            rng=np.random.default_rng(seed), fitter=fitter,
+        )
+
+    def test_shared_gram_bit_identical_to_per_fit_reference(self):
+        X, y = self._data()
+        shared = self._curve(
+            X, y, SVCFoldFitter(kernel="rbf", random_state=0,
+                                shared_gram=True, warm_start=False)
+        )
+        perfit = self._curve(
+            X, y, SVCFoldFitter(kernel="rbf", random_state=0,
+                                shared_gram=False, warm_start=False)
+        )
+        np.testing.assert_array_equal(
+            shared.all_scores, perfit.all_scores
+        )
+
+    def test_fitter_and_estimator_paths_share_the_random_stream(self):
+        # Same rng, same folds: a fitter curve and an estimator curve must
+        # evaluate the identical sizes (NaN pattern) even though the
+        # estimators differ.
+        X, y = self._data()
+        fitted = self._curve(X, y, SVCFoldFitter(kernel="linear", random_state=0))
+        plain = learning_curve(
+            lambda: OneVsOneSVC(kernel="linear", random_state=0),
+            X, y, [6, 12, 24, 48], n_folds=3, n_repeats=2,
+            rng=np.random.default_rng(1),
+        )
+        np.testing.assert_array_equal(
+            np.isnan(fitted.all_scores), np.isnan(plain.all_scores)
+        )
+
+    def test_warm_start_curve_close_to_cold(self):
+        X, y = self._data()
+        warm = self._curve(X, y, SVCFoldFitter(kernel="linear", random_state=0,
+                                               warm_start=True))
+        cold = self._curve(X, y, SVCFoldFitter(kernel="linear", random_state=0,
+                                               warm_start=False))
+        # tol-equivalent stationary points: close scores, not bitwise.
+        assert np.nanmax(np.abs(warm.all_scores - cold.all_scores)) <= 0.15
+
+    def test_reference_error_cache_off_close_to_fast(self):
+        X, y = self._data()
+        fast = self._curve(X, y, SVCFoldFitter(kernel="linear", random_state=0))
+        baseline = self._curve(
+            X, y, SVCFoldFitter(kernel="linear", random_state=0,
+                                shared_gram=False, warm_start=False,
+                                error_cache=False)
+        )
+        assert np.nanmax(np.abs(fast.all_scores - baseline.all_scores)) <= 0.2
+
+    def test_empty_test_folds_are_skipped(self):
+        # Regression: 9 samples over 5 stratified folds leaves fold 4
+        # empty (round-robin per class); the curve must skip it instead of
+        # crashing on the accuracy of an empty prediction set.
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(9, 3))
+        y = np.array(["a"] * 4 + ["b"] * 3 + ["c"] * 2)
+        result = learning_curve(
+            None, X, y, [4, 7], n_folds=5, n_repeats=2,
+            rng=np.random.default_rng(0),
+            fitter=SVCFoldFitter(kernel="linear", random_state=0),
+        )
+        assert np.isfinite(result.mean_accuracy).any()
+
+    def test_learning_curve_requires_exactly_one_strategy(self):
+        X, y = self._data()
+        with pytest.raises(ValueError, match="exactly one"):
+            learning_curve(None, X, y, [4], rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="exactly one"):
+            learning_curve(
+                lambda: OneVsOneSVC(), X, y, [4],
+                rng=np.random.default_rng(0), fitter=SVCFoldFitter(),
+            )
+
+    def test_fitter_rejects_precomputed_kernel_name(self):
+        X, y = self._data()
+        with pytest.raises(ValueError, match="underlying kernel"):
+            self._curve(X, y, SVCFoldFitter(kernel="precomputed"))

@@ -9,7 +9,8 @@ from repro.core.evaluation import DayEvaluation, MDEvaluation, sensor_subset
 from repro.core.movement import OfflineMDResult
 from repro.core.windows import VariationWindow, match_windows, true_window_for_event
 from repro.ml.features import window_autocorrelation, window_entropy, window_variance
-from repro.ml.kde import GaussianKDE
+from repro.ml.kde import GaussianKDE, bisect_quantiles, mixture_quantiles
+from repro.ml.kernels import make_kernel
 from repro.ml.metrics import DetectionCounts
 from repro.ml.mutual_info import quantize, relative_mutual_information
 from repro.mobility.events import EventKind, GroundTruthEvent
@@ -201,6 +202,111 @@ class TestKDEProperties:
         grid = np.linspace(min(data) - 1.0, max(data) + 1.0, 30)
         cdf = kde.cdf(grid)
         assert np.all(np.diff(cdf) >= -1e-9)
+
+
+class TestQuantileSolverProperties:
+    """The safeguarded-Newton threshold engine (PR 4's conscious re-pin)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.lists(small_floats, min_size=2, max_size=60),
+        bandwidth=st.floats(min_value=1e-3, max_value=5.0),
+        q=st.floats(min_value=0.5, max_value=99.5),
+    )
+    def test_solver_matches_brute_force_grid_inversion(self, data, bandwidth, q):
+        """The Newton engine inverts the CDF like a dense-grid lookup.
+
+        Brute force: evaluate the CDF on a dense grid and take the cell
+        where it crosses the target (step inversion — linear interpolation
+        would misplace the quantile on the near-staircase CDFs of tiny
+        bandwidths).  The solver's value must land in that cell, up to the
+        grid pitch.
+        """
+        kde = GaussianKDE(data, bandwidth=bandwidth)
+        value = kde.percentile(q, tol=1e-6)
+        lo = min(data) - 10.0 * bandwidth
+        hi = max(data) + 10.0 * bandwidth
+        grid = np.linspace(lo, hi, 20001)
+        cdf = kde.cdf(grid)
+        pitch = (hi - lo) / 20000
+        crossing = int(np.searchsorted(cdf, q / 100.0))
+        cell_lo = grid[max(crossing - 1, 0)]
+        cell_hi = grid[min(crossing, grid.shape[0] - 1)]
+        assert cell_lo - pitch - 1e-6 <= value <= cell_hi + pitch + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=8),
+        n=st.integers(min_value=2, max_value=60),
+        q=st.floats(min_value=0.5, max_value=99.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_newton_within_old_tol_of_bisection(self, rows, n, q, seed):
+        """|Newton - retained bisection| <= tol: the documented re-pin bound."""
+        rng = np.random.default_rng(seed)
+        data = np.exp(rng.normal(0.0, rng.uniform(0.1, 2.0), size=(rows, n)))
+        data *= rng.uniform(1.0, 50.0)
+        h = np.abs(rng.normal(1.0, 0.5, rows)) + 1e-3
+        newton = mixture_quantiles(data, h, q, tol=1e-6)
+        bisect = bisect_quantiles(data, h, q, tol=1e-6)
+        assert np.abs(newton - bisect).max() <= 1e-6
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        rows=st.integers(min_value=2, max_value=10),
+        n=st.integers(min_value=2, max_value=40),
+        q=st.floats(min_value=1.0, max_value=99.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_batched_solve_bit_identical_to_single_rows(self, rows, n, q, seed):
+        """Solving a profile alone or inside any batch gives the same bits."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(5.0, 2.0, size=(rows, n))
+        h = np.abs(rng.normal(1.0, 0.4, rows)) + 1e-2
+        x0 = rng.normal(5.0, 1.0, rows)
+        batched = mixture_quantiles(data, h, q, x0=x0)
+        single = np.array([
+            mixture_quantiles(data[i : i + 1], h[i : i + 1], q, x0=x0[i : i + 1])[0]
+            for i in range(rows)
+        ])
+        np.testing.assert_array_equal(batched, single)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.lists(small_floats, min_size=2, max_size=40),
+        q=st.floats(min_value=1.0, max_value=99.0),
+        guess_offset=st.floats(min_value=-30.0, max_value=30.0),
+    )
+    def test_warm_start_agrees_with_cold_start(self, data, q, guess_offset):
+        """Any warm-start guess lands within tol of the cold-start root."""
+        kde = GaussianKDE(data)
+        cold = kde.percentile(q)
+        warm = kde.percentile(q, x0=cold + guess_offset)
+        assert abs(warm - cold) <= 2e-6
+
+
+class TestKernelSliceStability:
+    """Gram entries depend only on their own row pair (bitwise)."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=3, max_value=25),
+        m=st.integers(min_value=3, max_value=25),
+        d=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=2**31),
+        name=st.sampled_from(["linear", "rbf", "poly"]),
+    )
+    def test_subgram_equals_gram_slice(self, n, m, d, seed, name):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d)) * 3.0
+        Y = rng.normal(size=(m, d)) * 2.0
+        kernel = make_kernel(name, **({} if name == "linear" else {"gamma": 0.37}))
+        K = kernel(X, Y)
+        idx = rng.choice(n, size=rng.integers(1, n + 1), replace=False)
+        jdx = rng.choice(m, size=rng.integers(1, m + 1), replace=False)
+        np.testing.assert_array_equal(
+            kernel(X[idx], Y[jdx]), K[np.ix_(idx, jdx)]
+        )
 
 
 class TestDetectionCountProperties:
