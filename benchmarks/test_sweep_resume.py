@@ -1,0 +1,150 @@
+"""Benchmark / CI smoke: resumable sweep persistence.
+
+Exercises the full resume workflow the store exists for, at benchmark
+scale, and gates it:
+
+1. a cold grid sweep runs against an empty :class:`SweepStore` and writes
+   the aggregate report to ``SWEEP_report.json`` (uploaded as a CI
+   artifact alongside ``BENCH_results.json``);
+2. a warm re-run must perform **zero** day-collection tasks and reproduce
+   the cold report bit-identically (``to_dict()``) — this is the
+   resume-identity contract of ``ScenarioSweepRunner.run(store=...)``;
+3. one scenario record is deleted and the sweep resumed: only the missing
+   scenario's simulation may be recollected (its ``n_days`` day tasks,
+   nothing else), and the resumed report must still equal the cold one;
+4. the warm re-run must beat the cold sweep by ``MIN_RESUME_SPEEDUP`` —
+   the whole point of persistence is that re-entry costs store reads, not
+   simulation.
+
+Day length defaults to compact 10-minute days (``--sweep-day-s``);
+``--paper-scale`` runs full 8-hour days.
+"""
+
+import json
+
+from repro.analysis.campaign import CampaignScale
+from repro.analysis.scenarios import ScenarioGrid, ScenarioSweepRunner
+from repro.analysis.sweep_store import SweepStore
+from repro.core.config import FadewichConfig
+from repro.radio.office import paper_office
+from repro.simulation.runner import CampaignRunner
+
+#: A warm resume re-reads a few JSON records instead of simulating and
+#: analysing the grid; requiring only 3x leaves enormous headroom for
+#: loaded CI runners while still failing loudly if the store path ever
+#: starts recomputing scenarios.
+MIN_RESUME_SPEEDUP = 3.0
+
+RESUME_SEED = 23
+
+#: Where the sweep report lands for the CI artifact upload.
+SWEEP_REPORT_PATH = "SWEEP_report.json"
+
+
+def _resume_grid(request) -> ScenarioGrid:
+    if request.config.getoption("--paper-scale"):
+        day_s = 8 * 3600.0
+    else:
+        day_s = float(request.config.getoption("--sweep-day-s"))
+    scale = CampaignScale(
+        name="resume-bench",
+        n_days=2,
+        day_duration_s=day_s,
+        departures_per_hour=6.5,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=2.0,
+    )
+    # Config-only variants share a simulation and replicates are distinct
+    # grid points, so the store must handle both partial-simulation reuse
+    # and per-replicate records: 4 scenarios, 2 simulations, 4 day tasks.
+    return ScenarioGrid(
+        layouts=[paper_office()],
+        scales=[scale],
+        configs={
+            "default": FadewichConfig(),
+            "t6": FadewichConfig().derive(t_delta_s=6.0),
+        },
+        n_replicates=2,
+        sensor_counts=(3, 6, 9),
+    )
+
+
+def test_resumable_sweep(request, tmp_path, best_of, speedup_gate, monkeypatch):
+    executed = []
+    original_run_tasks = CampaignRunner.run_tasks
+
+    def counting_run_tasks(self, tasks):
+        tasks = list(tasks)
+        executed.extend(tasks)
+        return original_run_tasks(self, tasks)
+
+    monkeypatch.setattr(CampaignRunner, "run_tasks", counting_run_tasks)
+
+    grid = _resume_grid(request)
+    store = SweepStore(tmp_path / "sweep-store")
+
+    def make_runner() -> ScenarioSweepRunner:
+        return ScenarioSweepRunner(
+            grid, seed=RESUME_SEED, mode="serial", re_sensor_counts=()
+        )
+
+    # --- 1. cold sweep ------------------------------------------------- #
+    t_cold, cold = best_of(lambda: make_runner().run(store=store), repeats=1)
+    n_days_total = sum(
+        spec.scale.n_days
+        for spec in {
+            s.simulation_key(): s for s in make_runner().specs
+        }.values()
+    )
+    assert len(executed) == n_days_total == 4
+    cold.save(SWEEP_REPORT_PATH)
+
+    # --- 2. warm resume: zero collection, identical report ------------- #
+    n_after_cold = len(executed)
+    warm_runner = make_runner()
+    t_warm, warm = best_of(lambda: warm_runner.run(store=store))
+    assert len(executed) == n_after_cold, (
+        "a warm store must perform zero day-collection tasks, got "
+        f"{len(executed) - n_after_cold}"
+    )
+    assert warm_runner.last_run_stats.n_day_tasks == 0
+    assert warm_runner.last_run_stats.n_cached == len(grid)
+    assert warm.to_dict() == cold.to_dict(), (
+        "warm resume diverged from the cold report"
+    )
+
+    # --- 3. delete one record, resume: only the missing simulation ----- #
+    victim = cold.results[0].spec
+    assert store.delete(victim.name)
+    n_before_resume = len(executed)
+    resume_runner = make_runner()
+    resumed = resume_runner.run(store=store)
+    recollected = executed[n_before_resume:]
+    assert len(recollected) == victim.scale.n_days, (
+        f"resume recollected {len(recollected)} day tasks, expected only "
+        f"the missing simulation's {victim.scale.n_days}"
+    )
+    assert resume_runner.last_run_stats.n_simulations == 1
+    assert resume_runner.last_run_stats.n_cached == len(grid) - 1
+    assert resumed.to_dict() == cold.to_dict(), (
+        "resumed report diverged from the cold report"
+    )
+
+    # The artifact on disk is the real, loadable export.
+    with open(SWEEP_REPORT_PATH) as handle:
+        assert json.load(handle)["n_scenarios"] == len(grid)
+
+    # --- 4. gate: resuming must cost store reads, not simulation ------- #
+    speedup_gate(
+        "sweep resume",
+        t_cold,
+        t_warm,
+        MIN_RESUME_SPEEDUP,
+        reference_name="cold sweep ",
+        fast_name="warm resume",
+        detail=(
+            f"{len(grid)} scenarios x {grid.scales[0].n_days} days, "
+            "serial, persistent store"
+        ),
+    )

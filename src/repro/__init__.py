@@ -51,7 +51,15 @@ from .simulation.runner import CampaignRunner, DayTask
 # error cache (original formulation retained behind error_cache=False),
 # SVCFoldFitter shared-gram/warm-start learning-curve engine used by
 # Figure 8; GaussianKDE.sample now requires an explicit Generator.
-__version__ = "2.3.0"
+# 2.4.0: resumable sweep persistence — SweepStore (atomic per-scenario
+# JSON records keyed by name + root-seed fingerprint + configuration
+# content hash), ScenarioSweepRunner.run(store=...) with partial
+# collection (warm store: zero day tasks, bit-identical report), full
+# SweepReport round-trip serialization (save/load), per-cell replicate
+# statistics (mean/std/ci95, NaN-safe); ScenarioGrid sensor-count
+# normalisation, runner name-uniqueness validation, ragged Figure-7 curve
+# rendering, quantize non-finite rejection.
+__version__ = "2.4.0"
 
 __all__ = [
     "CampaignCollector",

@@ -52,7 +52,9 @@ from .scenarios import (
     ScenarioSpec,
     ScenarioSweepRunner,
     SweepReport,
+    SweepRunStats,
 )
+from .sweep_store import StoreStats, SweepStore
 from .security_eval import (
     AttackOpportunityRow,
     DeauthCurve,
@@ -83,8 +85,11 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSweepRunner",
     "StdProfileResult",
+    "StoreStats",
     "StreamImportanceResult",
     "SweepReport",
+    "SweepRunStats",
+    "SweepStore",
     "TradeoffPoint",
     "UsabilityTableRow",
     "VarianceCorrelationResult",

@@ -41,6 +41,38 @@ class MDTableRow:
     def rates(self) -> Dict[str, float]:
         return self.counts.rates()
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form: absolute counts plus the derived rates.
+
+        The counts are authoritative — :meth:`from_dict` reconstructs the
+        :class:`~repro.ml.metrics.DetectionCounts` from ``tp``/``fp``/``fn``
+        alone and rederives every rate exactly — while the rounded rate
+        fields keep the export human-readable.  ``rates()`` reuses the
+        tp/fp/fn names for fractions, so they are suffixed with ``_rate``
+        to never clobber the counts.
+        """
+        c = self.counts
+        return {
+            "n_sensors": self.n_sensors,
+            "tp": c.tp,
+            "fp": c.fp,
+            "fn": c.fn,
+            **{f"{k}_rate": round(v, 6) for k, v in self.rates.items()},
+            "precision": round(c.precision, 6),
+            "recall": round(c.recall, 6),
+            "f_measure": round(c.f_measure, 6),
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "MDTableRow":
+        """Rebuild a row (and its :class:`DetectionCounts`) from :meth:`to_dict`."""
+        return MDTableRow(
+            n_sensors=int(data["n_sensors"]),
+            counts=DetectionCounts(
+                tp=int(data["tp"]), fp=int(data["fp"]), fn=int(data["fn"])
+            ),
+        )
+
 
 def compute_md_table(
     context: AnalysisContext, sensor_counts: Optional[Sequence[int]] = None
@@ -128,16 +160,39 @@ def compute_fmeasure_curves(
 
 
 def render_fmeasure_curves(curves: Sequence[FMeasureCurve]) -> str:
-    """Render the Figure 7 data as an aligned text table."""
+    """Render the Figure 7 data as an aligned text table.
+
+    Caller-supplied curves need not share one ``t_delta`` grid
+    (:func:`compute_fmeasure_curves` always produces a common grid, but
+    curves from different sweeps may be combined): the rows span the sorted
+    union of all grids and a curve without a value at some ``t_delta``
+    renders a blank cell.  Indexing every curve with the first curve's grid
+    — the previous behaviour — raised ``IndexError`` on shorter curves and
+    silently misaligned columns on equal-length but shifted grids.
+    """
     if not curves:
         return "Figure 7: no curves"
+    for c in curves:
+        if len(c.t_deltas) != len(c.f_measures):
+            raise ValueError(
+                f"curve for {c.n_sensors} sensors has {len(c.t_deltas)} "
+                f"t_deltas but {len(c.f_measures)} f_measures"
+            )
+        if len(set(c.t_deltas)) != len(c.t_deltas):
+            # A t_delta-keyed table cell can hold one value; silently
+            # keeping the last duplicate would misreport the curve.
+            raise ValueError(
+                f"curve for {c.n_sensors} sensors has duplicate t_deltas"
+            )
     header = "Figure 7: MD F-measure vs t_delta"
-    t_deltas = curves[0].t_deltas
+    t_deltas = sorted({float(t) for c in curves for t in c.t_deltas})
+    by_curve = [dict(zip(c.t_deltas, c.f_measures)) for c in curves]
     lines = [header, "t_delta | " + " | ".join(f"{n}-sens" for n in (c.n_sensors for c in curves))]
     lines.append("-" * len(lines[1]))
-    for i, t in enumerate(t_deltas):
+    for t in t_deltas:
         row = f"{t:7.1f} | " + " | ".join(
-            f"{c.f_measures[i]:6.3f}" for c in curves
+            f"{values[t]:6.3f}" if t in values else f"{'-':>6}"
+            for values in by_curve
         )
         lines.append(row)
     for c in curves:

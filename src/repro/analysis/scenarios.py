@@ -29,15 +29,42 @@ points (each gets its own scenario index, hence its own child seed), so a
 grid is reproducible from a single integer.
 
 The result is a :class:`SweepReport`: per-scenario Table-III-style MD rows
-and RE accuracies, a cross-scenario summary, a text rendering and a JSON
-export for downstream tooling.
+and RE accuracies, a cross-scenario summary, per-cell replicate statistics
+(:meth:`SweepReport.cell_statistics`), a text rendering and a JSON export
+that round-trips losslessly (:meth:`SweepReport.load`).
+
+Resumable sweeps
+----------------
+
+``run(store=SweepStore(path))`` persists every completed grid point as one
+atomically-written JSON record and skips grid points whose record is
+already present *and* was computed under the same root seed, seed-index
+assignment, analysis seed and configuration content
+(:meth:`ScenarioSweepRunner.store_key`); only the missing simulations are
+compiled into day tasks (:meth:`ScenarioSweepRunner.collect` with
+``needed=...``).  Because scenario seeds derive from the full grid's
+enumeration (``_sim_indices``), a partially resumed grid re-collects
+bit-identical recordings — a warm store performs *zero* day-collection
+work and reproduces the cold report exactly.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+import math
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import (
+    Collection,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -53,6 +80,12 @@ from ..simulation.collector import (
 from ..simulation.runner import CampaignRunner, DayTask
 from .campaign import AnalysisContext, CampaignScale
 from .md_performance import MDTableRow
+from .sweep_store import (
+    SweepStore,
+    component_from_dict,
+    component_to_dict,
+    content_hash,
+)
 
 __all__ = [
     "ScenarioSpec",
@@ -60,6 +93,7 @@ __all__ = [
     "ScenarioResult",
     "SweepReport",
     "ScenarioSweepRunner",
+    "SweepRunStats",
 ]
 
 
@@ -108,6 +142,46 @@ class ScenarioSpec:
             "n_sensors_available": len(self.layout.sensors),
         }
 
+    def content_hash(self) -> str:
+        """Hash of everything that defines this scenario's behaviour.
+
+        Covers the layout, behaviour scale, channel configuration and
+        FADEWICH configuration *content* (not just their names), so a store
+        record computed under a renamed-but-equal configuration still
+        matches while an edited-in-place configuration never does.
+        """
+        return content_hash(
+            self.layout, self.scale, self.channel_config, self.config
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless JSON form; :meth:`from_dict` rebuilds an equal spec."""
+        return {
+            "index": self.index,
+            "name": self.name,
+            "channel_name": self.channel_name,
+            "config_name": self.config_name,
+            "replicate": self.replicate,
+            "layout": component_to_dict(self.layout),
+            "scale": component_to_dict(self.scale),
+            "channel_config": component_to_dict(self.channel_config),
+            "config": component_to_dict(self.config),
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ScenarioSpec":
+        return ScenarioSpec(
+            index=int(data["index"]),
+            name=str(data["name"]),
+            layout=component_from_dict(data["layout"]),
+            scale=component_from_dict(data["scale"]),
+            channel_name=str(data["channel_name"]),
+            channel_config=component_from_dict(data["channel_config"]),
+            config_name=str(data["config_name"]),
+            config=component_from_dict(data["config"]),
+            replicate=int(data["replicate"]),
+        )
+
 
 class ScenarioGrid:
     """A declarative cartesian product of sweep axes.
@@ -133,6 +207,9 @@ class ScenarioGrid:
         MD sensor-count sweep evaluated inside every scenario (counts
         exceeding a layout's deployment are skipped for that scenario);
         every count from 3 to the layout's maximum when omitted.
+        Normalised to sorted unique values — duplicates would double-count
+        scenarios in the cross-scenario summary — and counts below 1 are
+        rejected.
     """
 
     def __init__(
@@ -170,11 +247,19 @@ class ScenarioGrid:
         if len(set(scale_names)) != len(scale_names):
             raise ValueError(f"scale names must be unique, got {scale_names}")
         self.n_replicates = int(n_replicates)
-        self.sensor_counts = (
-            tuple(int(n) for n in sensor_counts)
-            if sensor_counts is not None
-            else None
-        )
+        if sensor_counts is None:
+            self.sensor_counts: Optional[Tuple[int, ...]] = None
+        else:
+            # Normalise to sorted unique: duplicate or unsorted counts
+            # (e.g. [5, 5, 3]) would otherwise produce duplicate
+            # MDTableRows per scenario that double-count in
+            # SweepReport.summary() and cell_statistics().
+            counts = sorted({int(n) for n in sensor_counts})
+            if counts and counts[0] < 1:
+                raise ValueError(
+                    f"sensor counts must be >= 1, got {tuple(sensor_counts)}"
+                )
+            self.sensor_counts = tuple(counts)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -255,34 +340,98 @@ class ScenarioResult:
         return best.n_sensors, best.counts.f_measure
 
     def to_dict(self) -> Dict[str, object]:
-        md = []
-        for row in self.md_rows:
-            c = row.counts
-            md.append(
-                {
-                    "n_sensors": row.n_sensors,
-                    "tp": c.tp,
-                    "fp": c.fp,
-                    "fn": c.fn,
-                    # rates() reuses the tp/fp/fn names for fractions;
-                    # suffix them so they cannot clobber the counts.
-                    **{
-                        f"{k}_rate": round(v, 6) for k, v in row.rates.items()
-                    },
-                    "precision": round(c.precision, 6),
-                    "recall": round(c.recall, 6),
-                    "f_measure": round(c.f_measure, 6),
-                }
-            )
+        """Lossless JSON form (also the sweep-store record payload).
+
+        ``scenario`` keeps the human-readable identity summary of earlier
+        exports; ``spec`` carries the full configuration content so
+        :meth:`from_dict` rebuilds an equal :class:`ScenarioSpec`.  RE
+        accuracies are stored at full precision — they feed
+        :meth:`SweepReport.cell_statistics`, so a resumed sweep must see
+        exactly the values the cold run computed.
+        """
         return {
             "scenario": self.spec.describe(),
+            "spec": self.spec.to_dict(),
             "n_events": self.n_events,
             "n_departures": self.n_departures,
-            "md": md,
+            "md": [row.to_dict() for row in self.md_rows],
             "re_accuracy": {
-                str(n): round(acc, 6) for n, acc in self.re_accuracies.items()
+                str(n): float(acc) for n, acc in self.re_accuracies.items()
             },
         }
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``recording`` is always ``None`` on the reconstructed result: raw
+        RSSI traces are never persisted (only the aggregated numbers are),
+        exactly like a ``keep_recordings=False`` run.
+        """
+        return ScenarioResult(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            n_events=int(data["n_events"]),
+            n_departures=int(data["n_departures"]),
+            md_rows=[MDTableRow.from_dict(row) for row in data["md"]],
+            re_accuracies={
+                int(n): float(acc)
+                for n, acc in dict(data.get("re_accuracy", {})).items()
+            },
+            recording=None,
+        )
+
+
+def _entropy_json(seed_seq: np.random.SeedSequence):
+    """A seed sequence's entropy as JSON-ready data (pooled entropy is a
+    list)."""
+    entropy = seed_seq.entropy
+    if isinstance(entropy, (list, tuple)):
+        entropy = list(entropy)
+    return entropy
+
+
+def _library_version() -> str:
+    """The installed ``repro`` version, for store-record invalidation.
+
+    Imported lazily: :mod:`repro` imports this module during package
+    initialisation, so a module-level ``from .. import __version__`` would
+    see a partially-initialised package.
+    """
+    from .. import __version__
+
+    return __version__
+
+
+def _mean_std_ci95(values: Sequence[float]) -> Tuple[float, float, float]:
+    """NaN-safe replicate statistics: ``(mean, sample std, 95% CI half-width)``.
+
+    Empty input yields all-NaN; a single value yields its mean with NaN
+    spread (one replicate cannot estimate variance — reporting 0 would
+    fabricate certainty).
+    """
+    if not values:
+        return (math.nan, math.nan, math.nan)
+    mean = float(np.mean(values))
+    if len(values) < 2:
+        return (mean, math.nan, math.nan)
+    std = float(np.std(values, ddof=1))
+    ci95 = 1.96 * std / math.sqrt(len(values))
+    return (mean, std, ci95)
+
+
+def _json_value(value):
+    """Strict-JSON cell value: floats rounded, non-finite floats to None."""
+    if isinstance(value, float):
+        return round(value, 6) if math.isfinite(value) else None
+    return value
+
+
+def _pm(mean: float, ci95: float) -> str:
+    """Render ``mean ± ci95`` with NaN-aware fallbacks."""
+    if math.isnan(mean):
+        return f"{'-':>13}"
+    spread = "n/a" if math.isnan(ci95) else f"{ci95:.3f}"
+    return f"{mean:.3f}±{spread:<5}"
 
 
 @dataclass
@@ -330,6 +479,67 @@ class SweepReport:
             )
         return summary
 
+    def cell_statistics(self) -> List[Dict[str, object]]:
+        """Per-cell replicate statistics of the grid.
+
+        Groups results by the cell ``(layout, scale, channel, config)``
+        with the replicate axis marginalised, and reports — per cell and
+        sensor count — the across-replicate mean, sample standard deviation
+        and normal-approximation 95% confidence half-width
+        (``1.96 * std / sqrt(r)``) of the MD F-measure, the MD recall and
+        the RE accuracy.
+
+        NaN-safety: a single-replicate cell has no spread estimate, so its
+        ``*_std`` and ``*_ci95`` are NaN (*not* 0 — zero would claim
+        certainty the data cannot support); a sensor count no replicate
+        evaluated RE at has NaN RE statistics.
+        """
+        cells: Dict[Tuple[str, str, str, str], List[ScenarioResult]] = {}
+        for result in self.results:
+            spec = result.spec
+            key = (
+                spec.layout.name,
+                spec.scale.name,
+                spec.channel_name,
+                spec.config_name,
+            )
+            cells.setdefault(key, []).append(result)
+        rows: List[Dict[str, object]] = []
+        for (layout, scale, channel, config), results in cells.items():
+            f_values: Dict[int, List[float]] = {}
+            recall_values: Dict[int, List[float]] = {}
+            re_values: Dict[int, List[float]] = {}
+            for result in results:
+                for row in result.md_rows:
+                    f_values.setdefault(row.n_sensors, []).append(
+                        row.counts.f_measure
+                    )
+                    recall_values.setdefault(row.n_sensors, []).append(
+                        row.counts.recall
+                    )
+                for n, acc in result.re_accuracies.items():
+                    re_values.setdefault(n, []).append(acc)
+            for n in sorted(set(f_values) | set(re_values)):
+                entry: Dict[str, object] = {
+                    "layout": layout,
+                    "scale": scale,
+                    "channel": channel,
+                    "config": config,
+                    "n_sensors": n,
+                    "n_replicates": len(f_values.get(n, re_values.get(n, []))),
+                }
+                for prefix, values in (
+                    ("f", f_values.get(n, [])),
+                    ("recall", recall_values.get(n, [])),
+                    ("re", re_values.get(n, [])),
+                ):
+                    mean, std, ci95 = _mean_std_ci95(values)
+                    entry[f"{prefix}_mean"] = mean
+                    entry[f"{prefix}_std"] = std
+                    entry[f"{prefix}_ci95"] = ci95
+                rows.append(entry)
+        return rows
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "n_scenarios": self.n_scenarios,
@@ -342,6 +552,12 @@ class SweepReport:
                 }
                 for row in self.summary()
             ],
+            # NaN is not valid JSON; single-replicate spread estimates
+            # export as null and load back as NaN.
+            "cell_statistics": [
+                {key: _json_value(value) for key, value in row.items()}
+                for row in self.cell_statistics()
+            ],
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -351,6 +567,31 @@ class SweepReport:
         """Write the JSON export for downstream tooling."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SweepReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The per-scenario results (specs included) are reconstructed in
+        full; ``summary`` and ``cell_statistics`` are derived data and are
+        recomputed from the results rather than trusted from the file.
+        """
+        return SweepReport(
+            results=[
+                ScenarioResult.from_dict(entry) for entry in data["scenarios"]
+            ],
+            seed_entropy=data.get("seed_entropy"),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "SweepReport":
+        return SweepReport.from_dict(json.loads(text))
+
+    @staticmethod
+    def load(path) -> "SweepReport":
+        """Read a report previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return SweepReport.from_json(handle.read())
 
     def render(self) -> str:
         """The aggregate report as text: per-scenario rates + summary."""
@@ -395,7 +636,48 @@ class SweepReport:
                 f"{row['f_mean']:7.3f} | {row['f_min']:7.3f} | "
                 f"{row['f_max']:7.3f} | {row['recall_mean']:11.3f}"
             )
+        cells = self.cell_statistics()
+        if cells:
+            width = max(
+                len(f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}")
+                for c in cells
+            )
+            lines.append("")
+            lines.append(
+                "replicate statistics per cell "
+                "(mean ± ci95; n/a with a single replicate)"
+            )
+            lines.append(
+                f"{'cell':>{width}} | {'sensors':>7} | {'reps':>4} | "
+                f"{'F':>13} | {'recall':>13} | {'RE acc':>13}"
+            )
+            for c in cells:
+                cell = f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}"
+                lines.append(
+                    f"{cell:>{width}} | {c['n_sensors']:>7} | "
+                    f"{c['n_replicates']:>4} | "
+                    f"{_pm(c['f_mean'], c['f_ci95']):>13} | "
+                    f"{_pm(c['recall_mean'], c['recall_ci95']):>13} | "
+                    f"{_pm(c['re_mean'], c['re_ci95']):>13}"
+                )
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SweepRunStats:
+    """What one :meth:`ScenarioSweepRunner.run` invocation actually did.
+
+    ``n_day_tasks`` counts the :class:`~repro.simulation.runner.DayTask`
+    items compiled for collection — the resume-identity contract is that a
+    fully warm store yields ``n_day_tasks == 0`` and a half-warm store only
+    the missing simulations' days.
+    """
+
+    n_scenarios: int
+    n_cached: int
+    n_analyzed: int
+    n_simulations: int
+    n_day_tasks: int
 
 
 class ScenarioSweepRunner:
@@ -422,7 +704,10 @@ class ScenarioSweepRunner:
         Whether :class:`ScenarioResult` retains each scenario's raw
         :class:`CampaignRecording` (default).  Disable for large grids: the
         report only needs the aggregated numbers, while the recordings pin
-        every scenario's per-sample RSSI arrays in memory.
+        every scenario's per-sample RSSI arrays in memory.  Note that
+        recordings are never *persisted*: results loaded from a
+        :class:`~repro.analysis.sweep_store.SweepStore` always have
+        ``recording=None``, whatever this flag says (see :meth:`run`).
     """
 
     def __init__(
@@ -457,13 +742,27 @@ class ScenarioSweepRunner:
             else None
         )
         self._keep_recordings = keep_recordings
+        self.last_run_stats: Optional[SweepRunStats] = None
+        self._last_collect_task_count = 0
+        # Explicit spec lists bypass ScenarioGrid's validation, so enforce
+        # name uniqueness here: SweepReport.result_for and every name-keyed
+        # sweep-store record would otherwise silently return the first
+        # match among same-named scenarios.
+        name_counts = Counter(spec.name for spec in self._specs)
+        duplicate_names = sorted(n for n, c in name_counts.items() if c > 1)
+        if duplicate_names:
+            raise ValueError(
+                f"duplicate scenario names {duplicate_names}; "
+                "SweepReport.result_for and sweep-store records are keyed "
+                "by name and would silently return the first match — give "
+                "every scenario a unique name"
+            )
         # Scenarios differing only in FADEWICH config simulate the same
         # campaign; enumerate the distinct simulations in spec order so
         # their seed derivation is reproducible from the root alone.  The
-        # key is name-based, so explicit spec lists (which bypass the
-        # grid's name-uniqueness validation) must not alias specs whose
-        # names coincide but whose simulation inputs differ — that would
-        # silently analyse the wrong data.
+        # key is name-based, so distinct simulation inputs must never
+        # alias one simulation key — that would silently analyse the
+        # wrong data.
         self._sim_indices: Dict[Tuple[str, str, str, int], int] = {}
         sim_inputs: Dict[Tuple[str, str, str, int], Tuple] = {}
         for spec in self._specs:
@@ -505,8 +804,11 @@ class ScenarioSweepRunner:
         return list(range(min(3, n_max), n_max + 1))
 
     # ------------------------------------------------------------------ #
-    def collect(self) -> List[Tuple[ScenarioSpec, CampaignRecording]]:
-        """Collect every scenario's campaign on one shared worker pool.
+    def collect(
+        self,
+        needed: Optional[Collection[Tuple[str, str, str, int]]] = None,
+    ) -> List[Tuple[ScenarioSpec, CampaignRecording]]:
+        """Collect scenario campaigns on one shared worker pool.
 
         Schedule generation runs serially per scenario (it is cheap and
         stateful on the scenario's structural stream); day collection fans
@@ -514,7 +816,20 @@ class ScenarioSweepRunner:
         :meth:`CampaignRunner.run_tasks`.  Each scenario's recording is
         bit-identical to a serial ``collect_generated`` with the same
         derived seed.
+
+        Parameters
+        ----------
+        needed:
+            Simulation keys (:meth:`ScenarioSpec.simulation_key`) to
+            collect; everything when omitted.  This is the partial
+            collection a store resume drives: only the missing simulations
+            are compiled into day tasks, while seed derivation stays keyed
+            by the *full* grid's ``_sim_indices`` — so a 90%-warm grid
+            reruns 10% of the day-collection work and still reproduces
+            every recording bit-identically to a cold run.  Returned pairs
+            cover exactly the specs whose simulation key was collected.
         """
+        needed_keys = None if needed is None else set(needed)
         tasks: List[DayTask] = []
         spans: Dict[Tuple[str, str, str, int], Tuple[int, int]] = {}
         sim_specs: Dict[Tuple[str, str, str, int], ScenarioSpec] = {}
@@ -522,6 +837,8 @@ class ScenarioSweepRunner:
             key = spec.simulation_key()
             if key in spans:
                 continue  # config-only variant: shares the recording
+            if needed_keys is not None and key not in needed_keys:
+                continue
             sim_specs[key] = spec
             scenario_seed = self.scenario_seed(spec)
             collector = CampaignCollector(
@@ -547,6 +864,9 @@ class ScenarioSweepRunner:
                 for day in schedule.days
             )
             spans[key] = (start, len(tasks))
+        self._last_collect_task_count = len(tasks)
+        if not tasks:
+            return []
         runner = CampaignRunner(
             self._specs[0].layout,
             seed=self._root,
@@ -561,7 +881,9 @@ class ScenarioSweepRunner:
             for key, (a, b) in spans.items()
         }
         return [
-            (spec, recordings[spec.simulation_key()]) for spec in self._specs
+            (spec, recordings[spec.simulation_key()])
+            for spec in self._specs
+            if spec.simulation_key() in recordings
         ]
 
     def analyze(
@@ -588,12 +910,105 @@ class ScenarioSweepRunner:
             recording=recording if self._keep_recordings else None,
         )
 
-    def run(self) -> SweepReport:
-        """Collect and analyse the whole grid, returning the report."""
-        results = [
-            self.analyze(spec, recording) for spec, recording in self.collect()
-        ]
-        entropy = self._root.entropy
-        if isinstance(entropy, (list, tuple)):
-            entropy = list(entropy)
-        return SweepReport(results=results, seed_entropy=entropy)
+    def store_key(self, spec: ScenarioSpec) -> Dict[str, object]:
+        """The staleness fingerprint of one scenario's store record.
+
+        A stored result is only reusable if *everything* that determined it
+        is unchanged: the sweep's root seed identity (entropy + spawn key),
+        the scenario's position in the simulation-seed enumeration
+        (``sim_index`` — grid reshapes that reassign seeds invalidate
+        records even when names survive), the analysis seed, the evaluated
+        sensor counts, the RE stage selection, and the content hash of the
+        layout / scale / channel / FADEWICH configuration.  Any mismatch
+        reads as a store miss, never as silent reuse.
+
+        The library version is part of the key too: this repo consciously
+        re-pins analysis semantics across releases, so a record computed by
+        an older ``repro`` must be recomputed, not resumed.  (Conservative
+        by design — a version bump invalidates stores even when the
+        analysis maths is untouched; recomputing is cheap next to silently
+        mixing semantics in one report.)
+        """
+        return {
+            "version": _library_version(),
+            "root_entropy": _entropy_json(self._root),
+            "root_spawn_key": list(self._root.spawn_key),
+            "sim_index": self._sim_indices[spec.simulation_key()],
+            "analysis_seed": self._analysis_seed,
+            "sensor_counts": self._sensor_counts_for(spec),
+            "re_sensor_counts": (
+                list(self._re_sensor_counts)
+                if self._re_sensor_counts is not None
+                else None
+            ),
+            "content_hash": spec.content_hash(),
+        }
+
+    def run(self, store: Optional[SweepStore] = None) -> SweepReport:
+        """Collect and analyse the grid, returning the report.
+
+        With a :class:`~repro.analysis.sweep_store.SweepStore`, grid points
+        whose record matches their :meth:`store_key` are loaded instead of
+        recomputed, only the missing simulations are collected (see
+        :meth:`collect`), and every freshly analysed scenario is persisted
+        atomically — so an interrupted sweep resumes where it stopped and a
+        completed sweep re-runs without any day-collection work, returning
+        a report bit-identical (``to_dict()``) to the cold run.
+        :attr:`last_run_stats` records what actually happened.
+
+        Raw recordings are never persisted, so store-loaded results carry
+        ``recording=None`` even under ``keep_recordings=True``: after a
+        resume, ``ScenarioResult.recording`` is only populated for the
+        scenarios that were actually (re-)simulated.  Code needing raw
+        traces for every scenario should re-run without a store.
+        """
+        results: Dict[str, ScenarioResult] = {}
+        store_keys: Dict[str, Dict[str, object]] = {}
+        if store is not None:
+            for spec in self._specs:
+                key = store_keys[spec.name] = self.store_key(spec)
+                payload = store.get(spec.name, key)
+                if payload is None:
+                    continue
+                try:
+                    result = ScenarioResult.from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    # A matching key on a mangled payload (hand-edited
+                    # record, foreign writer): honour the corrupted-files-
+                    # read-as-misses contract and recompute the scenario.
+                    # Reclassify the lookup the store already counted as a
+                    # hit, so hits + misses + stale keeps partitioning
+                    # lookups and "hits" only counts reused records.
+                    store.stats.hits -= 1
+                    store.stats.stale += 1
+                    continue
+                # The runner's own spec is authoritative (the record
+                # matched its content hash and seed identity; the stored
+                # copy may carry a stale enumeration index).
+                results[spec.name] = replace(result, spec=spec)
+        n_cached = len(results)
+        missing = [spec for spec in self._specs if spec.name not in results]
+        self._last_collect_task_count = 0
+        pairs = (
+            self.collect(needed={spec.simulation_key() for spec in missing})
+            if missing
+            else []
+        )
+        for spec, recording in pairs:
+            if spec.name in results:
+                continue  # cached config-variant sharing a missing simulation
+            result = self.analyze(spec, recording)
+            if store is not None:
+                store.put(spec.name, store_keys[spec.name], result.to_dict())
+            results[spec.name] = result
+        self.last_run_stats = SweepRunStats(
+            n_scenarios=len(self._specs),
+            n_cached=n_cached,
+            n_analyzed=len(self._specs) - n_cached,
+            n_simulations=len({s.simulation_key() for s in missing}),
+            n_day_tasks=self._last_collect_task_count,
+        )
+        return SweepReport(
+            results=[results[spec.name] for spec in self._specs],
+            seed_entropy=_entropy_json(self._root),
+        )

@@ -1,0 +1,344 @@
+"""Persistent, resumable storage of scenario-sweep results.
+
+PR 3's sweep engine made scenario grids cheap to *run*, but every
+``ScenarioSweepRunner.run()`` started from zero: an interrupted 200-point
+grid lost all completed work.  This module adds the persistence layer:
+
+* a **component codec** (:func:`component_to_dict` /
+  :func:`component_from_dict`) that round-trips the frozen configuration
+  dataclasses a scenario is made of — :class:`~repro.core.config.FadewichConfig`,
+  :class:`~repro.radio.channel.ChannelConfig`,
+  :class:`~repro.analysis.campaign.CampaignScale`,
+  :class:`~repro.radio.office.OfficeLayout` and their nested parts —
+  through plain JSON, reconstructing value-equal objects;
+* a **content hash** (:func:`content_hash`) over the canonical JSON
+  encoding, used to key store records by what a scenario *means* rather
+  than what it is called;
+* the :class:`SweepStore` itself: one JSON record per grid point, written
+  atomically (temp file + ``os.replace``), keyed by the scenario name
+  **and** a structured key carrying the sweep's root-seed fingerprint and
+  the scenario's configuration content hash.  A record whose key does not
+  match the requested one is treated as stale and never returned — a
+  changed ``FadewichConfig`` (or root seed, or behaviour scale...) can
+  therefore never silently resurrect results computed under the old
+  definition.
+
+The store deliberately deals in plain dicts: the scenario types serialise
+themselves (``ScenarioResult.to_dict`` / ``from_dict`` in
+:mod:`repro.analysis.scenarios`), which keeps this module free of circular
+imports and makes records greppable JSON on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Type
+
+from ..core.config import FadewichConfig, MDConfig, REConfig
+from ..radio.channel import ChannelConfig
+from ..radio.fading import QuiescentNoise, SkewLaplace
+from ..radio.geometry import Point
+from ..radio.office import OfficeLayout, Sensor, Workstation
+from ..radio.pathloss import FreeSpacePathLoss, LogDistancePathLoss
+from ..radio.shadowing import BodyShadowingModel
+from .campaign import CampaignScale
+
+__all__ = [
+    "component_to_dict",
+    "component_from_dict",
+    "content_hash",
+    "register_component",
+    "SweepStore",
+    "StoreStats",
+]
+
+#: Key under which the codec stores a dataclass's registered type name.
+_TYPE_KEY = "__type__"
+
+#: Version stamp written into every record; bumped when the record layout
+#: changes incompatibly, so old files read as stale instead of crashing.
+RECORD_FORMAT = 1
+
+# --------------------------------------------------------------------------- #
+# Component codec
+# --------------------------------------------------------------------------- #
+
+#: Types the decoder may reconstruct.  Encoding accepts *any* dataclass;
+#: decoding only trusts this registry, so a record cannot instantiate
+#: arbitrary classes.
+_COMPONENT_TYPES: Dict[str, Type] = {
+    cls.__name__: cls
+    for cls in (
+        FadewichConfig,
+        MDConfig,
+        REConfig,
+        ChannelConfig,
+        LogDistancePathLoss,
+        FreeSpacePathLoss,
+        QuiescentNoise,
+        SkewLaplace,
+        BodyShadowingModel,
+        CampaignScale,
+        OfficeLayout,
+        Sensor,
+        Workstation,
+        Point,
+    )
+}
+
+
+def register_component(cls: Type) -> Type:
+    """Register an additional dataclass for decoding (custom path-loss
+    models, layout subtypes...).  Returns the class, so it can be used as a
+    decorator."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    _COMPONENT_TYPES[cls.__name__] = cls
+    return cls
+
+
+def component_to_dict(obj):
+    """Encode a configuration component as JSON-ready data.
+
+    Dataclasses become ``{"__type__": name, **fields}`` recursively;
+    sequences become lists; primitives pass through.  The encoding is
+    purely value-based, so two equal components encode identically —
+    the property :func:`content_hash` relies on.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        encoded = {_TYPE_KEY: type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            encoded[f.name] = component_to_dict(getattr(obj, f.name))
+        return encoded
+    if isinstance(obj, (list, tuple)):
+        return [component_to_dict(v) for v in obj]
+    if isinstance(obj, Mapping):
+        return {str(k): component_to_dict(v) for k, v in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(
+        f"cannot encode {type(obj).__name__!r} as a sweep-store component"
+    )
+
+
+def component_from_dict(data):
+    """Decode :func:`component_to_dict` output back into value-equal objects.
+
+    JSON arrays decode to tuples (the frozen configuration dataclasses all
+    use tuple fields, and dataclass equality distinguishes list from
+    tuple); only registered dataclass types are instantiated.
+    """
+    if isinstance(data, Mapping):
+        if _TYPE_KEY in data:
+            type_name = data[_TYPE_KEY]
+            cls = _COMPONENT_TYPES.get(type_name)
+            if cls is None:
+                raise ValueError(
+                    f"unknown component type {type_name!r}; register it "
+                    "with repro.analysis.sweep_store.register_component"
+                )
+            kwargs = {
+                k: component_from_dict(v)
+                for k, v in data.items()
+                if k != _TYPE_KEY
+            }
+            return cls(**kwargs)
+        return {k: component_from_dict(v) for k, v in data.items()}
+    if isinstance(data, list):
+        return tuple(component_from_dict(v) for v in data)
+    return data
+
+
+def content_hash(*components) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of components.
+
+    This is the staleness key of the store: records carry the hash of the
+    configuration content they were computed under, so renaming an axis
+    value cannot alias two different configurations and editing a
+    configuration in place cannot reuse results computed under the old
+    values.
+    """
+    encoded = [component_to_dict(c) for c in components]
+    canonical = json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class StoreStats:
+    """Counters of one store's lifetime (reset with :meth:`SweepStore.reset_stats`).
+
+    ``stale`` counts records that existed under the requested name but
+    whose key (root seed, configuration content hash...) did not match —
+    the silent-reuse hazards the key scheme exists to catch.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stale: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(
+            hits=self.hits, misses=self.misses, stale=self.stale, writes=self.writes
+        )
+
+
+class SweepStore:
+    """One JSON record per completed grid point, atomically written.
+
+    Parameters
+    ----------
+    path:
+        Directory of the store; created on first use.  Each scenario gets
+        one file named after a sanitised slug of its grid-path name plus a
+        short name hash (so distinct names can never collide on disk).
+
+    Records are looked up by ``(name, key)``: ``key`` is the structured
+    staleness fingerprint the runner builds
+    (:meth:`~repro.analysis.scenarios.ScenarioSweepRunner.store_key` —
+    root-seed entropy and spawn key, the scenario's simulation-seed index,
+    the analysis seed, the evaluated sensor counts and the configuration
+    content hash).  A record with a non-matching key is *stale*: ``get``
+    returns ``None`` and the record stays on disk untouched (re-running the
+    old sweep would find it again); ``put`` simply overwrites it.
+
+    Writes are atomic — the record is serialised to a temporary file in the
+    store directory and ``os.replace``-d into place — so a killed sweep
+    leaves either the old record or the new one, never a torn file.
+    Corrupted or foreign files read as misses, not crashes.
+    """
+
+    def __init__(self, path) -> None:
+        self._path = Path(path)
+        self._path.mkdir(parents=True, exist_ok=True)
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def reset_stats(self) -> None:
+        self.stats = StoreStats()
+
+    def record_path(self, name: str) -> Path:
+        """The on-disk file of a scenario's record."""
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "scenario"
+        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:10]
+        return self._path / f"{slug}-{digest}.json"
+
+    @staticmethod
+    def _normalise_key(key: Mapping) -> Dict:
+        """The key as it reads back from JSON (tuples to lists etc.)."""
+        return json.loads(json.dumps(dict(key), sort_keys=True))
+
+    @staticmethod
+    def _valid_record(record) -> bool:
+        """Whether parsed JSON has the shape of a record we wrote.
+
+        Anything else — foreign files, mangled payloads — reads as a miss,
+        never as a crash.
+        """
+        return (
+            isinstance(record, dict)
+            and record.get("format") == RECORD_FORMAT
+            and isinstance(record.get("name"), str)
+            and isinstance(record.get("result"), dict)
+        )
+
+    def _read_record(self, name: str) -> Optional[Dict]:
+        path = self.record_path(name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not self._valid_record(record) or record["name"] != name:
+            return None
+        return record
+
+    # ------------------------------------------------------------------ #
+    def get(self, name: str, key: Mapping) -> Optional[Dict]:
+        """The stored result payload of a scenario, or ``None``.
+
+        ``None`` means either no record (miss) or a record computed under a
+        different key (stale) — the caller recomputes in both cases.
+        """
+        record = self._read_record(name)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        if record.get("key") != self._normalise_key(key):
+            self.stats.stale += 1
+            return None
+        self.stats.hits += 1
+        return record["result"]
+
+    def put(self, name: str, key: Mapping, result: Mapping) -> Path:
+        """Atomically persist one scenario's result payload."""
+        record = {
+            "format": RECORD_FORMAT,
+            "name": name,
+            "key": self._normalise_key(key),
+            "result": result,
+        }
+        path = self.record_path(name)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.stem + ".", suffix=".tmp", dir=self._path
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def delete(self, name: str) -> bool:
+        """Remove a scenario's record; ``True`` if one existed."""
+        try:
+            os.unlink(self.record_path(name))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def names(self) -> List[str]:
+        """Names of all readable records, sorted."""
+        found = []
+        for path in sorted(self._path.glob("*.json")):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if self._valid_record(record):
+                found.append(record["name"])
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self.names())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for name in self.names():
+            removed += bool(self.delete(name))
+        return removed

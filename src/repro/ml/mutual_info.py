@@ -38,6 +38,15 @@ def quantize(x: Sequence[float], bins: int = 256) -> np.ndarray:
         raise ValueError("cannot quantise an empty feature")
     if bins < 1:
         raise ValueError("bins must be >= 1")
+    if not np.all(np.isfinite(x)):
+        # NaN propagates through min()/max() and ``hi <= lo`` is False for
+        # NaN bounds, so linspace would produce NaN edges and digitize
+        # garbage bin indices — a silently wrong RMI.  Infinities degenerate
+        # the linear grid the same way.  Fail loudly instead.
+        raise ValueError(
+            "cannot quantise a feature with non-finite values (NaN/inf); "
+            "clean or drop the affected samples first"
+        )
     lo, hi = float(x.min()), float(x.max())
     if hi <= lo:
         return np.zeros(x.shape[0], dtype=int)

@@ -83,6 +83,47 @@ class TestMDAnalyses:
             assert all(0.0 <= f <= 1.0 for f in curve.f_measures)
         assert "Figure 7" in render_fmeasure_curves(curves)
 
+    def test_fmeasure_render_aligns_ragged_curves(self):
+        from repro.analysis import FMeasureCurve
+
+        # Caller-supplied curves on different t_delta grids used to be
+        # indexed with the first curve's grid: IndexError on shorter
+        # curves, silently misaligned columns on shifted ones.
+        long = FMeasureCurve(
+            n_sensors=3, t_deltas=(2.0, 4.5, 7.0), f_measures=(0.5, 0.7, 0.6)
+        )
+        short = FMeasureCurve(
+            n_sensors=9, t_deltas=(4.5, 8.0), f_measures=(0.9, 0.8)
+        )
+        text = render_fmeasure_curves([long, short])
+        lines = text.splitlines()
+        # Rows span the union grid; missing cells render blank, and each
+        # value lands on its own t_delta row.
+        assert sum(line.lstrip().startswith(("2.0", "4.5", "7.0", "8.0"))
+                   for line in lines) == 4
+        row_45 = next(line for line in lines if line.lstrip().startswith("4.5"))
+        assert "0.700" in row_45 and "0.900" in row_45
+        row_20 = next(line for line in lines if line.lstrip().startswith("2.0"))
+        assert "0.500" in row_20 and "-" in row_20
+        # Peaks are still reported per curve.
+        assert "peak (9 sensors): F=0.900 at t_delta=4.5 s" in text
+
+    def test_fmeasure_render_rejects_malformed_curve(self):
+        from repro.analysis import FMeasureCurve
+
+        broken = FMeasureCurve(
+            n_sensors=3, t_deltas=(2.0, 4.5), f_measures=(0.5,)
+        )
+        with pytest.raises(ValueError, match="2 t_deltas but 1"):
+            render_fmeasure_curves([broken])
+        # Duplicate t_deltas would silently keep only the last value in a
+        # t_delta-keyed table.
+        duplicated = FMeasureCurve(
+            n_sensors=3, t_deltas=(2.0, 2.0), f_measures=(0.1, 0.9)
+        )
+        with pytest.raises(ValueError, match="duplicate t_deltas"):
+            render_fmeasure_curves([duplicated])
+
     def test_std_profile_separates_walking_from_normal(self, small_recording, config):
         result = compute_std_profile(small_recording, config, day_index=0)
         assert result.separation > 0

@@ -234,6 +234,11 @@ class TestMutualInformation:
         q = quantize(np.ones(10), bins=256)
         assert np.all(q == 0)
 
+    def test_quantize_rejects_nan_and_inf(self):
+        for poison in (np.nan, np.inf, -np.inf):
+            with pytest.raises(ValueError, match="non-finite"):
+                quantize(np.array([1.0, poison, 2.0]))
+
     def test_marginal_entropy_nonnegative(self, rng):
         assert marginal_entropy(rng.normal(size=200)) >= 0
 

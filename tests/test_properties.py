@@ -174,6 +174,21 @@ class TestFeatureProperties:
         assert q.max() < bins
 
     @given(
+        values=st.lists(finite_floats, min_size=0, max_size=50),
+        poison=st.sampled_from([np.nan, np.inf, -np.inf]),
+        position=st.integers(min_value=0, max_value=50),
+        bins=st.integers(min_value=1, max_value=256),
+    )
+    def test_quantize_rejects_non_finite(self, values, poison, position, bins):
+        # NaN used to slip through the ``hi <= lo`` constant-feature guard
+        # (False for NaN bounds), giving NaN linspace edges and garbage
+        # digitize output — silently wrong RMI instead of an error.
+        x = np.asarray(values, dtype=float)
+        x = np.insert(x, min(position, x.shape[0]), poison)
+        with pytest.raises(ValueError, match="non-finite"):
+            quantize(x, bins=bins)
+
+    @given(
         values=st.lists(finite_floats, min_size=4, max_size=100),
     )
     def test_rmi_in_unit_interval(self, values):

@@ -100,6 +100,34 @@ class TestScenarioGrid:
                 layouts=[paper_office()], scales=[tiny_scale()], n_replicates=0
             )
 
+    def test_sensor_counts_normalised_to_sorted_unique(self):
+        # Duplicate / unsorted counts ([5, 5, 3]) used to produce duplicate
+        # MDTableRows per scenario, double-counting every scenario in
+        # SweepReport.summary().
+        grid = ScenarioGrid(
+            layouts=[paper_office()],
+            scales=[tiny_scale()],
+            sensor_counts=[5, 5, 3],
+        )
+        assert grid.sensor_counts == (3, 5)
+        assert grid.sensor_counts_for(paper_office()) == [3, 5]
+        report = ScenarioSweepRunner(
+            grid, seed=7, mode="serial", re_sensor_counts=()
+        ).run()
+        assert [row.n_sensors for row in report.results[0].md_rows] == [3, 5]
+        summary = report.summary()
+        assert [row["n_sensors"] for row in summary] == [3, 5]
+        # One scenario in the grid: each count must be counted exactly once.
+        assert all(row["n_scenarios"] == 1 for row in summary)
+
+    def test_sensor_counts_below_one_rejected(self):
+        with pytest.raises(ValueError, match="sensor counts"):
+            ScenarioGrid(
+                layouts=[paper_office()],
+                scales=[tiny_scale()],
+                sensor_counts=[0, 3],
+            )
+
     def test_config_derive_axes(self):
         config = FadewichConfig().derive(t_delta_s=6.0, md={"alpha": 2.0})
         assert config.t_delta_s == 6.0
@@ -255,18 +283,29 @@ class TestScenarioSweepRunner:
         assert json.loads(report.to_json())["scenarios"][0]["md"] == []
 
     def test_conflicting_explicit_specs_rejected(self, grid):
-        # Explicit spec lists bypass the grid's name-uniqueness checks;
-        # name collisions with different simulation inputs must fail
-        # loudly instead of silently sharing one recording.
+        # Distinctly named specs sharing one simulation key (layout,
+        # scale, channel name, replicate) but carrying different
+        # simulation inputs must fail loudly instead of silently sharing
+        # one recording.
         specs = grid.scenarios()[:1]
         clone = specs[0].__class__(
             **{
                 **specs[0].__dict__,
                 "index": 1,
+                "name": specs[0].name + "-variant",
                 "channel_config": ChannelConfig(slow_drift_sigma_db=0.1),
             }
         )
         with pytest.raises(ValueError, match="conflicting"):
+            ScenarioSweepRunner([specs[0], clone], seed=0)
+
+    def test_duplicate_scenario_names_rejected(self, grid):
+        # Explicit spec lists bypass the grid's uniqueness validation, but
+        # SweepReport.result_for and sweep-store records are name-keyed:
+        # duplicate names would silently resolve to the first match.
+        specs = grid.scenarios()[:1]
+        clone = specs[0].__class__(**{**specs[0].__dict__, "index": 1})
+        with pytest.raises(ValueError, match="duplicate scenario names"):
             ScenarioSweepRunner([specs[0], clone], seed=0)
 
     def test_keep_recordings_false_drops_raw_traces(self, grid):

@@ -1,0 +1,518 @@
+"""Tests for the persistent, resumable sweep subsystem.
+
+Locks the contracts of :mod:`repro.analysis.sweep_store` and the store
+integration of :mod:`repro.analysis.scenarios`:
+
+* the component codec round-trips every configuration dataclass a scenario
+  is made of into value-equal objects, and the content hash separates
+  value changes from renames;
+* ``SweepStore`` records are atomic, name-keyed files that never serve a
+  result whose key (root seed, sim index, configuration content...) does
+  not match — changed configurations invalidate, they are never reused;
+* ``SweepReport`` (and ``ScenarioResult`` / ``MDTableRow`` /
+  ``ScenarioSpec``) round-trip losslessly through ``save``/``load``;
+* resume identity: a warm store performs **zero** day-collection tasks and
+  reproduces the cold report bit-identically (``to_dict()``); a half-warm
+  store recollects exactly the missing simulation's days and still matches
+  the cold report.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.campaign import CampaignScale
+from repro.analysis.md_performance import MDTableRow
+from repro.analysis.scenarios import (
+    ScenarioGrid,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioSweepRunner,
+    SweepReport,
+)
+from repro.analysis.sweep_store import (
+    SweepStore,
+    component_from_dict,
+    component_to_dict,
+    content_hash,
+    register_component,
+)
+from repro.core.config import FadewichConfig
+from repro.ml.metrics import DetectionCounts
+from repro.radio.channel import ChannelConfig
+from repro.radio.office import paper_office, wide_office
+from repro.simulation.runner import CampaignRunner
+
+
+def tiny_scale(name="tiny", **overrides):
+    base = CampaignScale.compact().derive(name, n_days=2, day_duration_s=600.0)
+    return base.derive(name, **overrides) if overrides else base
+
+
+def tiny_grid(configs=None, n_replicates=2, sensor_counts=(3, 6)):
+    return ScenarioGrid(
+        layouts=[paper_office()],
+        scales=[tiny_scale()],
+        configs=configs,
+        n_replicates=n_replicates,
+        sensor_counts=sensor_counts,
+    )
+
+
+@pytest.fixture
+def counting_run_tasks(monkeypatch):
+    """Counts every DayTask executed through CampaignRunner.run_tasks."""
+    executed = []
+    original = CampaignRunner.run_tasks
+
+    def counting(self, tasks):
+        tasks = list(tasks)
+        executed.extend(tasks)
+        return original(self, tasks)
+
+    monkeypatch.setattr(CampaignRunner, "run_tasks", counting)
+    return executed
+
+
+class TestComponentCodec:
+    @pytest.mark.parametrize(
+        "component",
+        [
+            FadewichConfig(),
+            FadewichConfig().derive(t_delta_s=6.0, md={"alpha": 2.0}),
+            ChannelConfig(),
+            ChannelConfig(slow_drift_sigma_db=0.25),
+            CampaignScale.compact(),
+            CampaignScale.paper().derive("paper-busy", departures_per_hour=2.0),
+            paper_office(),
+            wide_office(),
+            paper_office().with_sensors(["d1", "d2", "d3"]),
+        ],
+    )
+    def test_round_trip_equality(self, component):
+        encoded = component_to_dict(component)
+        # Must survive an actual JSON round trip, not just the codec.
+        decoded = component_from_dict(json.loads(json.dumps(encoded)))
+        assert decoded == component
+        assert type(decoded) is type(component)
+
+    def test_content_hash_value_based(self):
+        assert content_hash(FadewichConfig()) == content_hash(FadewichConfig())
+        assert content_hash(FadewichConfig()) != content_hash(
+            FadewichConfig().derive(t_delta_s=6.0)
+        )
+        # A nested MD parameter change reaches the hash too.
+        assert content_hash(FadewichConfig()) != content_hash(
+            FadewichConfig().derive(md={"alpha": 2.0})
+        )
+        # Hash covers the component sequence, order included.
+        a, b = FadewichConfig(), ChannelConfig()
+        assert content_hash(a, b) != content_hash(b, a)
+
+    def test_unknown_type_decoding_rejected(self):
+        with pytest.raises(ValueError, match="unknown component type"):
+            component_from_dict({"__type__": "NoSuchThing", "x": 1})
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            component_to_dict(object())
+
+    def test_register_component(self):
+        import dataclasses
+
+        @register_component
+        @dataclasses.dataclass(frozen=True)
+        class _Custom:
+            value: float = 1.0
+
+        assert component_from_dict(component_to_dict(_Custom(2.5))) == _Custom(2.5)
+        with pytest.raises(TypeError, match="not a dataclass"):
+            register_component(int)
+
+
+class TestMDTableRowRoundTrip:
+    def test_round_trip(self):
+        row = MDTableRow(n_sensors=5, counts=DetectionCounts(tp=9, fp=2, fn=1))
+        data = json.loads(json.dumps(row.to_dict()))
+        back = MDTableRow.from_dict(data)
+        assert back == row
+        assert back.counts == DetectionCounts(9, 2, 1)
+        assert back.rates == row.rates
+        # The exported rates stay human-readable alongside the counts.
+        assert data["tp"] == 9 and data["tp_rate"] == pytest.approx(0.75)
+
+
+class TestSweepStore:
+    KEY = {"root_entropy": 5, "content_hash": "abc", "sim_index": 0}
+    PAYLOAD = {"n_events": 3, "md": []}
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        assert store.get("a/b/r0", self.KEY) is None
+        path = store.put("a/b/r0", self.KEY, self.PAYLOAD)
+        assert path.is_file()
+        assert store.get("a/b/r0", self.KEY) == self.PAYLOAD
+        assert store.names() == ["a/b/r0"]
+        assert len(store) == 1
+        assert store.stats.as_dict() == {
+            "hits": 1, "misses": 1, "stale": 0, "writes": 1,
+        }
+
+    def test_mismatched_key_is_stale_not_served(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        assert store.get("a", {**self.KEY, "content_hash": "DIFFERENT"}) is None
+        assert store.get("a", {**self.KEY, "root_entropy": 6}) is None
+        assert store.stats.stale == 2
+        # The record itself survives: the original sweep still finds it.
+        assert store.get("a", self.KEY) == self.PAYLOAD
+
+    def test_distinct_names_never_collide_on_disk(self, tmp_path):
+        store = SweepStore(tmp_path)
+        # Same sanitised slug, different names.
+        store.put("a/b", self.KEY, {"v": 1})
+        store.put("a?b", self.KEY, {"v": 2})
+        assert store.get("a/b", self.KEY) == {"v": 1}
+        assert store.get("a?b", self.KEY) == {"v": 2}
+        assert len(store) == 2
+
+    def test_delete_and_clear(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        store.put("b", self.KEY, self.PAYLOAD)
+        assert store.delete("a") is True
+        assert store.delete("a") is False
+        assert store.names() == ["b"]
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_corrupted_record_reads_as_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        store.record_path("a").write_text("{not json", encoding="utf-8")
+        assert store.get("a", self.KEY) is None
+        assert store.names() == []
+        # Overwriting repairs it.
+        store.put("a", self.KEY, self.PAYLOAD)
+        assert store.get("a", self.KEY) == self.PAYLOAD
+
+    def test_writes_are_atomic_no_temp_leftovers(self, tmp_path):
+        store = SweepStore(tmp_path)
+        for i in range(5):
+            store.put("a", self.KEY, {"v": i})
+        leftovers = [p for p in store.path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+        assert store.get("a", self.KEY) == {"v": 4}
+
+
+class TestReportRoundTrip:
+    @pytest.fixture(scope="class")
+    def report(self):
+        # >= 2 replicates so the round trip covers the replicate axis.
+        return ScenarioSweepRunner(
+            tiny_grid(), seed=13, mode="serial", re_sensor_counts=()
+        ).run()
+
+    def test_save_load_compares_equal(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report.save(path)
+        loaded = SweepReport.load(path)
+        assert [r.spec for r in loaded.results] == [
+            r.spec for r in report.results
+        ]
+        for got, want in zip(loaded.results, report.results):
+            assert got.md_rows == want.md_rows
+            assert [row.rates for row in got.md_rows] == [
+                row.rates for row in want.md_rows
+            ]
+            assert got.re_accuracies == want.re_accuracies
+            assert (got.n_events, got.n_departures) == (
+                want.n_events, want.n_departures,
+            )
+            assert got.recording is None
+        assert loaded.summary() == report.summary()
+        assert loaded.cell_statistics() == report.cell_statistics()
+        assert loaded.to_dict() == report.to_dict()
+        assert loaded.seed_entropy == 13
+
+    def test_round_trip_with_re_stage_and_dropped_recordings(self, tmp_path):
+        grid = ScenarioGrid(
+            layouts=[paper_office()],
+            scales=[tiny_scale("re-tiny", departures_per_hour=10.0)],
+            n_replicates=2,
+            sensor_counts=(3, 9),
+        )
+        report = ScenarioSweepRunner(
+            grid, seed=3, mode="serial", keep_recordings=False
+        ).run()
+        assert all(result.recording is None for result in report.results)
+        path = tmp_path / "report.json"
+        report.save(path)
+        loaded = SweepReport.load(path)
+        assert loaded.to_dict() == report.to_dict()
+        # RE accuracies survive at full precision (they feed statistics).
+        for got, want in zip(loaded.results, report.results):
+            assert got.re_accuracies == want.re_accuracies
+
+    def test_spec_round_trip_standalone(self):
+        spec = tiny_grid().scenarios()[1]
+        back = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.content_hash() == spec.content_hash()
+
+    def test_result_from_dict_reconstructs_counts(self, report):
+        result = report.results[0]
+        back = ScenarioResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert back.spec == result.spec
+        assert back.md_rows == result.md_rows
+        assert all(
+            isinstance(row.counts, DetectionCounts) for row in back.md_rows
+        )
+
+
+class TestResumableSweep:
+    SEED = 5
+
+    def runner(self, grid=None, **kwargs):
+        return ScenarioSweepRunner(
+            grid if grid is not None else tiny_grid(
+                configs={
+                    "default": FadewichConfig(),
+                    "t6": FadewichConfig().derive(t_delta_s=6.0),
+                }
+            ),
+            seed=self.SEED,
+            mode="serial",
+            re_sensor_counts=(),
+            **kwargs,
+        )
+
+    def test_warm_store_zero_day_tasks_bit_identical(
+        self, tmp_path, counting_run_tasks
+    ):
+        store = SweepStore(tmp_path)
+        cold_runner = self.runner()
+        cold = cold_runner.run(store=store)
+        n_cold_tasks = len(counting_run_tasks)
+        assert n_cold_tasks > 0
+        assert cold_runner.last_run_stats.n_day_tasks == n_cold_tasks
+        assert cold_runner.last_run_stats.n_cached == 0
+
+        warm_runner = self.runner()
+        warm = warm_runner.run(store=store)
+        # The resume-identity contract: zero collection work...
+        assert len(counting_run_tasks) == n_cold_tasks
+        assert warm_runner.last_run_stats.n_day_tasks == 0
+        assert warm_runner.last_run_stats.n_cached == len(warm.results)
+        assert warm_runner.last_run_stats.n_analyzed == 0
+        # ...and a bit-identical report.
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_half_warm_store_recollects_only_missing_simulation(
+        self, tmp_path, counting_run_tasks
+    ):
+        store = SweepStore(tmp_path)
+        cold = self.runner().run(store=store)
+        del counting_run_tasks[:]
+
+        # Drop one scenario's record; its config-sharing twin stays warm.
+        victim = cold.results[0].spec
+        assert store.delete(victim.name)
+        resumed_runner = self.runner()
+        resumed = resumed_runner.run(store=store)
+
+        # Only the victim's simulation was recollected: its n_days tasks,
+        # every one belonging to the victim's layout/seed.
+        assert len(counting_run_tasks) == victim.scale.n_days
+        stats = resumed_runner.last_run_stats
+        assert stats.n_simulations == 1
+        assert stats.n_analyzed == 1
+        assert stats.n_cached == len(cold.results) - 1
+        # And the resumed report matches the cold run exactly.
+        assert resumed.to_dict() == cold.to_dict()
+
+    def test_changed_config_invalidates_records(self, tmp_path):
+        store = SweepStore(tmp_path)
+        self.runner().run(store=store)
+        n_records = len(store)
+        store.reset_stats()
+
+        # Same grid shape and names, different FadewichConfig content:
+        # every record must read as stale, nothing may be reused.
+        changed = self.runner(
+            grid=tiny_grid(
+                configs={
+                    "default": FadewichConfig().derive(md={"alpha": 2.0}),
+                    "t6": FadewichConfig().derive(t_delta_s=6.0),
+                }
+            )
+        )
+        report = changed.run(store=store)
+        assert store.stats.hits == n_records // 2  # untouched t6 variants
+        assert store.stats.stale == n_records // 2
+        assert changed.last_run_stats.n_analyzed == n_records // 2
+        assert report.n_scenarios == n_records
+
+    def test_changed_seed_invalidates_records(self, tmp_path):
+        store = SweepStore(tmp_path)
+        self.runner().run(store=store)
+        store.reset_stats()
+        other = ScenarioSweepRunner(
+            tiny_grid(
+                configs={
+                    "default": FadewichConfig(),
+                    "t6": FadewichConfig().derive(t_delta_s=6.0),
+                }
+            ),
+            seed=self.SEED + 1,
+            mode="serial",
+            re_sensor_counts=(),
+        )
+        other.run(store=store)
+        assert store.stats.hits == 0
+        assert store.stats.stale > 0
+
+    def test_grid_reshape_invalidates_shifted_sim_indices(self, tmp_path):
+        # Prepending a scale shifts every later scenario's simulation-seed
+        # index: surviving names must not reuse records computed under a
+        # different derived seed.
+        store = SweepStore(tmp_path)
+        base_grid = ScenarioGrid(
+            layouts=[paper_office()], scales=[tiny_scale()], sensor_counts=(3,)
+        )
+        ScenarioSweepRunner(
+            base_grid, seed=1, mode="serial", re_sensor_counts=()
+        ).run(store=store)
+        reshaped = ScenarioGrid(
+            layouts=[paper_office()],
+            scales=[tiny_scale("tiny-first", departures_per_hour=9.0), tiny_scale()],
+            sensor_counts=(3,),
+        )
+        runner = ScenarioSweepRunner(
+            reshaped, seed=1, mode="serial", re_sensor_counts=()
+        )
+        store.reset_stats()
+        runner.run(store=store)
+        # The surviving name's sim_index moved 0 -> 1: stale, recomputed.
+        assert store.stats.hits == 0
+        assert store.stats.stale == 1
+
+    def test_library_version_is_part_of_the_key(self, tmp_path):
+        import repro
+
+        runner = self.runner()
+        spec = runner.specs[0]
+        key = runner.store_key(spec)
+        assert key["version"] == repro.__version__
+        # A record computed by an older library version must read as
+        # stale: this repo consciously re-pins analysis semantics across
+        # releases, and resuming across that boundary would silently mix
+        # old- and new-code numbers in one report.
+        store = SweepStore(tmp_path)
+        store.put(spec.name, {**key, "version": "0.0.0"}, {"md": []})
+        assert store.get(spec.name, key) is None
+        assert store.stats.stale == 1
+
+    def test_mangled_payload_recomputed_not_crashed(self, tmp_path):
+        # A record whose key matches but whose payload cannot rebuild a
+        # ScenarioResult (hand-edited file, foreign writer) must be
+        # recomputed — corrupted records read as misses, never crashes.
+        runner = self.runner()
+        store = SweepStore(tmp_path)
+        cold = runner.run(store=store)
+        victim = cold.results[0].spec
+        store.put(victim.name, runner.store_key(victim), {"bogus": True})
+        store.reset_stats()
+        resumed_runner = self.runner()
+        resumed = resumed_runner.run(store=store)
+        assert resumed_runner.last_run_stats.n_analyzed == 1
+        assert resumed.to_dict() == cold.to_dict()
+        # The mangled record is accounted as stale, not as a reusable hit:
+        # hits + misses + stale partitions the lookups.
+        stats = store.stats
+        assert stats.stale == 1
+        assert stats.hits == len(cold.results) - 1
+        assert stats.hits + stats.misses + stats.stale == len(cold.results)
+
+    def test_non_dict_result_payload_is_a_miss(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", TestSweepStore.KEY, {"ok": 1})
+        path = store.record_path("a")
+        record = json.loads(path.read_text())
+        record["result"] = ["not", "a", "dict"]
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get("a", TestSweepStore.KEY) is None
+        assert store.names() == []
+
+    def test_run_without_store_unchanged(self, counting_run_tasks):
+        plain = self.runner().run()
+        stats = self.runner()
+        with_store_none = stats.run(store=None)
+        assert with_store_none.to_dict() == plain.to_dict()
+
+
+class TestCellStatistics:
+    def test_replicate_statistics_match_manual(self):
+        report = ScenarioSweepRunner(
+            tiny_grid(n_replicates=3, sensor_counts=(3,)),
+            seed=9,
+            mode="serial",
+            re_sensor_counts=(),
+        ).run()
+        cells = report.cell_statistics()
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["n_replicates"] == 3
+        f_values = [r.md_rows[0].counts.f_measure for r in report.results]
+        import numpy as np
+
+        assert cell["f_mean"] == pytest.approx(float(np.mean(f_values)))
+        std = float(np.std(f_values, ddof=1))
+        assert cell["f_std"] == pytest.approx(std)
+        assert cell["f_ci95"] == pytest.approx(1.96 * std / math.sqrt(3))
+        # No RE stage ran: RE statistics are NaN, not fabricated zeros.
+        assert math.isnan(cell["re_mean"])
+
+    def test_single_replicate_ci95_is_nan(self):
+        report = ScenarioSweepRunner(
+            tiny_grid(n_replicates=1, sensor_counts=(3,)),
+            seed=9,
+            mode="serial",
+            re_sensor_counts=(),
+        ).run()
+        cell = report.cell_statistics()[0]
+        assert cell["n_replicates"] == 1
+        assert not math.isnan(cell["f_mean"])
+        assert math.isnan(cell["f_std"])
+        assert math.isnan(cell["f_ci95"])
+        # Exported as null (strict JSON), rendered as n/a.
+        exported = report.to_dict()["cell_statistics"][0]
+        assert exported["f_ci95"] is None
+        json.dumps(report.to_dict(), allow_nan=False)
+        assert "n/a" in report.render()
+
+    def test_cells_split_by_config_and_surface_in_render(self):
+        report = ScenarioSweepRunner(
+            tiny_grid(
+                configs={
+                    "default": FadewichConfig(),
+                    "t6": FadewichConfig().derive(t_delta_s=6.0),
+                },
+                n_replicates=2,
+                sensor_counts=(3,),
+            ),
+            seed=11,
+            mode="serial",
+            re_sensor_counts=(),
+        ).run()
+        cells = report.cell_statistics()
+        assert [(c["config"], c["n_sensors"]) for c in cells] == [
+            ("default", 3), ("t6", 3),
+        ]
+        assert all(c["n_replicates"] == 2 for c in cells)
+        text = report.render()
+        assert "replicate statistics" in text
+        assert "paper-office/tiny/default/t6" in text
