@@ -85,6 +85,16 @@ def pytest_addoption(parser):
         "--paper-scale)",
     )
     parser.addoption(
+        "--streaming-day-s",
+        action="store",
+        type=float,
+        default=2400.0,
+        help="simulated day length (seconds) replayed through the streaming "
+        "detection kernel and the multi-tenant router in the streaming "
+        "throughput benchmark; CI smoke runs pass a smaller value "
+        "(overridden to the full 8-hour day by --paper-scale)",
+    )
+    parser.addoption(
         "--bench-repeats",
         action="store",
         type=int,

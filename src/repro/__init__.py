@@ -13,7 +13,9 @@ substrates its evaluation needs:
 * :mod:`repro.workstation` — keyboard/mouse input and session state,
 * :mod:`repro.ml` — from-scratch SVM / KDE / CV / mutual-information tools,
 * :mod:`repro.simulation` — campaign collection harness,
-* :mod:`repro.analysis` — per-table / per-figure reproduction code.
+* :mod:`repro.analysis` — per-table / per-figure reproduction code,
+* :mod:`repro.streaming` — the incremental detection engine (bounded-state
+  online kernel, stream sources, multi-tenant ingestion router).
 
 Quickstart
 ----------
@@ -31,6 +33,7 @@ from .core.system import FadewichSystem
 from .radio.office import OfficeLayout, paper_office, wide_office
 from .simulation.collector import CampaignCollector, CampaignRecording
 from .simulation.runner import CampaignRunner, DayTask
+from .streaming import IngestRouter, OnlineDetector
 
 # 2.0.0: breaking — the seeding scheme moved to per-purpose SeedSequence
 # streams (same seed now yields different, but still deterministic,
@@ -59,7 +62,17 @@ from .simulation.runner import CampaignRunner, DayTask
 # statistics (mean/std/ci95, NaN-safe); ScenarioGrid sensor-count
 # normalisation, runner name-uniqueness validation, ragged Figure-7 curve
 # rendering, quantize non-finite rejection.
-__version__ = "2.4.0"
+# 2.5.0: incremental streaming detection engine — repro.streaming
+# (OnlineDetector: bounded-state batch kernel bit-identical to the
+# columnar offline path and the per-sample MovementDetector whatever the
+# arrival batching; DayRecordingSource / merge_by_time stream sources;
+# IngestRouter: per-tenant detectors on round-robin sharded workers with
+# bounded queues and clean drain); replay_day is now a thin client of the
+# kernel; SweepStore stale/miss taxonomy fixed (records of the requested
+# scenario with a missing fingerprint block, mangled result or old format
+# count as stale, foreign/corrupt files as misses — the three counters
+# partition every lookup).
+__version__ = "2.5.0"
 
 __all__ = [
     "CampaignCollector",
@@ -68,8 +81,10 @@ __all__ = [
     "DayTask",
     "FadewichConfig",
     "FadewichSystem",
+    "IngestRouter",
     "MDConfig",
     "OfficeLayout",
+    "OnlineDetector",
     "REConfig",
     "__version__",
     "paper_office",

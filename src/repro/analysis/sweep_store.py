@@ -180,8 +180,12 @@ class StoreStats:
     """Counters of one store's lifetime (reset with :meth:`SweepStore.reset_stats`).
 
     ``stale`` counts records that existed under the requested name but
-    whose key (root seed, configuration content hash...) did not match —
-    the silent-reuse hazards the key scheme exists to catch.
+    could not be reused: a key (root seed, configuration content hash...)
+    that did not match, an incompatible record ``format`` version, or a
+    missing/mangled fingerprint or result block — the silent-reuse hazards
+    the key scheme exists to catch.  Every :meth:`SweepStore.get` lands in
+    exactly one of ``hits`` / ``misses`` / ``stale``, so the three always
+    sum to the number of lookups.
     """
 
     hits: int = 0
@@ -248,8 +252,8 @@ class SweepStore:
     def _valid_record(record) -> bool:
         """Whether parsed JSON has the shape of a record we wrote.
 
-        Anything else — foreign files, mangled payloads — reads as a miss,
-        never as a crash.
+        Anything else — foreign files, mangled payloads — is invisible to
+        :meth:`names`, never a crash.
         """
         return (
             isinstance(record, dict)
@@ -258,29 +262,45 @@ class SweepStore:
             and isinstance(record.get("result"), dict)
         )
 
-    def _read_record(self, name: str) -> Optional[Dict]:
+    def _load_raw(self, name: str) -> Optional[Dict]:
+        """The parsed JSON at a scenario's path, or ``None`` if unreadable."""
         path = self.record_path(name)
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
+                return json.load(handle)
         except (OSError, ValueError):
             return None
-        if not self._valid_record(record) or record["name"] != name:
-            return None
-        return record
 
     # ------------------------------------------------------------------ #
     def get(self, name: str, key: Mapping) -> Optional[Dict]:
         """The stored result payload of a scenario, or ``None``.
 
-        ``None`` means either no record (miss) or a record computed under a
-        different key (stale) — the caller recomputes in both cases.
+        ``None`` means either no record (miss) or an untrustworthy one
+        (stale) — the caller recomputes in both cases.  The counter
+        taxonomy partitions every lookup:
+
+        * **miss** — no file, unparseable JSON, or a file that is not one
+          of *this scenario's* records (non-dict payload, name mismatch —
+          a foreign file squatting on the slot);
+        * **stale** — a record of the requested scenario that cannot be
+          reused: written under a different key (root seed, configuration
+          content hash...), an incompatible ``format`` version, or with a
+          missing/mangled fingerprint or result block;
+        * **hit** — format, name, key and result all check out.
         """
-        record = self._read_record(name)
-        if record is None:
+        record = self._load_raw(name)
+        if (
+            record is None
+            or not isinstance(record, dict)
+            or record.get("name") != name
+        ):
             self.stats.misses += 1
             return None
-        if record.get("key") != self._normalise_key(key):
+        if (
+            record.get("format") != RECORD_FORMAT
+            or not isinstance(record.get("result"), dict)
+            or record.get("key") != self._normalise_key(key)
+        ):
             self.stats.stale += 1
             return None
         self.stats.hits += 1

@@ -12,13 +12,16 @@ Two ways to use it:
   :class:`~repro.simulation.collector.DayRecording` to re-live a captured
   day end to end (used by the integration tests and the examples).
 
-:meth:`replay_day` is an *array fast path*: the whole day's std-sum
-series, anomaly decisions and window durations are computed over columns
-(no per-step sample dicts, no per-step ``np.std``), and only the
-controller/session state machines advance step by step, fed from
-precomputed arrays.  :meth:`replay_day_scalar` is the retained per-sample
-reference driving :meth:`process_sample` exactly like the live system;
-both produce bit-identical reports (``tests/test_analysis_equivalence.py``).
+:meth:`replay_day` is a *thin client of the streaming kernel*: the whole
+day is delivered to an :class:`~repro.streaming.detector.OnlineDetector`
+as a single batch (no per-step sample dicts, no per-step ``np.std``), and
+only the controller/session state machines advance step by step, fed from
+the kernel's precomputed arrays.  :meth:`replay_day_scalar` is the
+retained per-sample reference driving :meth:`process_sample` exactly like
+the live system; both produce bit-identical reports
+(``tests/test_analysis_equivalence.py``), and the kernel itself is pinned
+bit-identical to the per-sample detector whatever the arrival batching
+(``tests/test_streaming_equivalence.py``).
 """
 
 from __future__ import annotations
@@ -38,12 +41,7 @@ from ..workstation.session import SessionState, WorkstationSession
 from .config import FadewichConfig
 from .controller import ControllerAction, ControllerState, FadewichController
 from .kma import KeyboardMouseActivity
-from .movement import (
-    MovementDetector,
-    online_std_sum_series,
-    run_profile_grid,
-    window_duration_series,
-)
+from .movement import MovementDetector
 from .radio_env import RadioEnvironment
 
 __all__ = ["ReplayReport", "FadewichSystem"]
@@ -260,9 +258,10 @@ class FadewichSystem:
         The day's activity traces provide both the KMA idle times and the
         session input events (cancelling alerts / screen savers).
 
-        The whole day is evaluated over columns: the online detector's
-        std-sum series, anomaly decisions and per-step window durations are
-        computed as arrays (bit-identical to feeding
+        The whole day is handed to the streaming detection kernel
+        (:class:`~repro.streaming.detector.OnlineDetector`) as one batch:
+        the std-sum series, anomaly decisions and per-step window
+        durations come back as arrays (bit-identical to feeding
         :meth:`process_sample` each sample — see
         :meth:`replay_day_scalar`), and the controller consumes them in a
         lean loop with precomputed idle times and input flags.  RE is only
@@ -289,18 +288,16 @@ class FadewichSystem:
         matrix = np.column_stack([trace.streams[sid] for sid in self._stream_ids])
         columns = [np.ascontiguousarray(matrix[:, j]) for j in range(matrix.shape[1])]
 
-        # MD over columns: the online tracker's s_t series (partial windows
-        # included), the lockstep profile decisions and the per-step dW_t.
-        window_samples = max(int(round(cfg.md.std_window_s * self._rate)), 2)
-        init_samples = max(int(round(cfg.md.profile_init_s * self._rate)), 2)
-        std_sums = online_std_sum_series(matrix, window_samples)
-        anomalous = np.zeros(n, dtype=bool)
-        if n > 1:
-            grid = run_profile_grid(
-                std_sums[1:, np.newaxis], cfg.md, init_samples
-            )
-            anomalous[1:] = grid.decisions[:, 0] == 1
-        durations = window_duration_series(times, anomalous, cfg.md.merge_gap_s)
+        # MD through the streaming kernel: one recorded day is simply the
+        # whole stream delivered as a single batch.  The kernel returns the
+        # online tracker's s_t series (partial windows included), the
+        # profile decisions and the per-step dW_t.
+        from ..streaming.detector import OnlineDetector
+
+        kernel = OnlineDetector(
+            self._stream_ids, cfg.md, sample_rate_hz=self._rate
+        )
+        durations = kernel.process_block(times, matrix).durations
 
         # Per-step keyboard/mouse input flags for every workstation.
         interval_starts = np.empty(n)

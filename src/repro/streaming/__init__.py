@@ -1,0 +1,55 @@
+"""Incremental streaming detection engine.
+
+The paper's movement-detection pipeline is inherently online — samples
+arrive, a rolling std is updated, Rule 1 / Rule 2 fire in real time — yet
+until this package the repo only ran it as offline replay of recorded days
+(:meth:`~repro.core.system.FadewichSystem.replay_day`).  This package
+extracts the detection kernel out of the replay loop into a true
+incremental engine:
+
+* :class:`~repro.streaming.detector.OnlineDetector` — bounded-state,
+  batch-capable detection kernel: constant work per sample (independent of
+  stream length), **bit-identical** to the columnar offline kernel
+  (``online_std_sum_series`` + ``run_profile_grid`` +
+  ``window_duration_series``) and to the per-sample
+  :class:`~repro.core.movement.MovementDetector`, whatever the arrival
+  batching (``tests/test_streaming_equivalence.py``);
+* :class:`~repro.streaming.source.DayRecordingSource` /
+  :func:`~repro.streaming.source.merge_by_time` — ``stream()``-style
+  iterator sources replaying :class:`~repro.simulation.collector.DayRecording`
+  traces as timestamped sample batches, and the multi-tenant load
+  generator interleaving many tenants' batches in arrival order;
+* :class:`~repro.streaming.router.IngestRouter` — the ingestion front-end
+  multiplexing many concurrent offices: per-tenant detector state,
+  round-robin sharded workers, bounded queues with backpressure, and a
+  clean drain/flush on shutdown that never reorders a tenant's decisions.
+
+:meth:`~repro.core.system.FadewichSystem.replay_day` is a thin client of
+the same kernel: one recorded day is simply the whole stream delivered as
+a single batch.
+"""
+
+from .detector import (
+    DetectionBlock,
+    OnlineDetector,
+    OnlineProfile,
+    OnlineStdSum,
+    WindowTracker,
+)
+from .router import IngestRouter, RouterStats, TenantState
+from .source import DayRecordingSource, SampleBatch, StreamSource, merge_by_time
+
+__all__ = [
+    "DetectionBlock",
+    "OnlineDetector",
+    "OnlineProfile",
+    "OnlineStdSum",
+    "WindowTracker",
+    "SampleBatch",
+    "StreamSource",
+    "DayRecordingSource",
+    "merge_by_time",
+    "IngestRouter",
+    "RouterStats",
+    "TenantState",
+]

@@ -1,0 +1,525 @@
+"""The incremental detection kernel: Algorithm 1 over an unbounded stream.
+
+Three bounded-state pieces compose :class:`OnlineDetector`:
+
+* :class:`OnlineStdSum` — the rolling ``s_t`` series.  Keeps only the last
+  ``window_samples - 1`` samples per stream as carry between batches, so
+  per-sample work is constant in the stream length, while reproducing the
+  offline :func:`~repro.core.movement.online_std_sum_series` (and hence
+  the per-sample :class:`~repro.core.movement.StdSumTracker`) **bit for
+  bit** — including the partial-window head at stream start, whatever the
+  arrival batching;
+* :class:`OnlineProfile` — the KDE normal profile with batch updates,
+  replicating :class:`~repro.core.movement.NormalProfile` arithmetic
+  exactly (same :class:`~repro.ml.kde.GaussianKDE` windows, same
+  warm-started chained Newton re-solves through
+  :func:`~repro.ml.kde.mixture_quantiles`), but consuming whole segments
+  between profile-batch boundaries with vectorised threshold compares;
+* :class:`WindowTracker` — the variation-window bookkeeping (open window,
+  merge gap, per-step ``dW_t``), the same automaton as
+  :class:`~repro.core.movement.MovementDetector` and the closed form of
+  :func:`~repro.core.movement.window_duration_series`.
+
+Bit-exactness notes
+-------------------
+
+The offline reference computes the partial-window head with per-instant
+``np.std`` over all samples so far and the full windows with ``np.std``
+over ``sliding_window_view`` rows, accumulating streams left to right.
+:class:`OnlineStdSum` performs the *same reductions on the same
+contiguous memory layout*: the carry tail plus the incoming batch form
+one contiguous per-stream array whose slices hold exactly the values the
+offline column slices hold, so every ``np.std`` sees identical input in
+identical order.  A ring buffer with wrap-around would present the same
+values in rotated order and break bitwise equality of the pairwise
+summation inside ``np.std`` — which is why the carry is materialised in
+arrival order instead.
+
+Per-sample cost is therefore O(``window_samples`` × ``n_streams``) — the
+reduction itself — and independent of how many samples the stream has
+already delivered; state is O(``window_samples`` × ``n_streams`` +
+profile window).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..core.config import MDConfig
+from ..core.windows import VariationWindow
+from ..ml.kde import GaussianKDE
+
+__all__ = [
+    "OnlineStdSum",
+    "OnlineProfile",
+    "WindowTracker",
+    "DetectionBlock",
+    "OnlineDetector",
+]
+
+
+class OnlineStdSum:
+    """Streaming ``s_t``: the std-sum series with bounded carry state.
+
+    Parameters
+    ----------
+    n_streams:
+        Number of monitored RSSI streams (the column count of every batch).
+    window_samples:
+        Sliding-window length ``d`` seconds times the sampling rate.
+
+    :meth:`extend` consumes a ``(m, n_streams)`` sample batch and returns
+    the ``m`` new ``s_t`` values, NaN where the series is undefined (the
+    very first sample of the stream — a standard deviation needs two
+    points).  Concatenating the outputs over any batching of a stream is
+    bit-identical to :func:`~repro.core.movement.online_std_sum_series`
+    over the full sample matrix.
+    """
+
+    def __init__(self, n_streams: int, window_samples: int) -> None:
+        if n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if window_samples < 2:
+            raise ValueError("window_samples must be >= 2")
+        self._k = int(n_streams)
+        self._w = int(window_samples)
+        self._count = 0
+        # Last min(count, w - 1) samples per stream, contiguous, in
+        # arrival order — the carry that makes any batch boundary
+        # invisible to the window arithmetic.
+        self._tails: List[np.ndarray] = [
+            np.empty(0) for _ in range(self._k)
+        ]
+
+    @property
+    def window_samples(self) -> int:
+        return self._w
+
+    @property
+    def n_streams(self) -> int:
+        return self._k
+
+    @property
+    def samples_seen(self) -> int:
+        """Total samples consumed since construction / :meth:`reset`."""
+        return self._count
+
+    def reset(self) -> None:
+        self._count = 0
+        self._tails = [np.empty(0) for _ in range(self._k)]
+
+    def extend(self, matrix: np.ndarray) -> np.ndarray:
+        """Consume one ``(m, n_streams)`` batch; return its ``s_t`` values."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self._k:
+            raise ValueError(
+                f"expected a (m, {self._k}) sample batch, got {matrix.shape}"
+            )
+        m = matrix.shape[0]
+        out = np.full(m, np.nan)
+        if m == 0:
+            return out
+        w = self._w
+        c0 = self._count
+        # Carry + batch: per stream one contiguous array whose slices are
+        # exactly the offline column slices ending at each batch instant.
+        exts = [
+            np.concatenate([tail, np.ascontiguousarray(matrix[:, j])])
+            for j, tail in enumerate(self._tails)
+        ]
+        lt = exts[0].shape[0] - m
+
+        # Partial-window head (global fill levels 2 .. w-1): per-instant
+        # np.std over every sample so far, streams accumulated left to
+        # right — the same arithmetic as the offline partial head and the
+        # per-sample tracker.  The carry holds the *entire* history here
+        # (count <= w - 2 < w - 1), so ext[: lt + i + 1] is the full
+        # stream prefix.
+        head_lo = max(0, 1 - c0)
+        head_hi = min(m, max(0, (w - 1) - c0))
+        for i in range(head_lo, head_hi):
+            total = 0.0
+            for ext in exts:
+                total += float(np.std(ext[: lt + i + 1]))
+            out[i] = total
+
+        # Full windows, vectorised per stream over the carry+batch array —
+        # the same sliding_window_view reduction as the offline series.
+        i0 = max(0, (w - 1) - c0)
+        if i0 < m and lt + m >= w:
+            acc: Optional[np.ndarray] = None
+            for ext in exts:
+                stds = np.std(sliding_window_view(ext, w), axis=1)
+                acc = stds if acc is None else acc + stds
+            out[i0:] = acc
+
+        self._count = c0 + m
+        nt = min(self._count, w - 1)
+        self._tails = [np.ascontiguousarray(ext[-nt:]) for ext in exts]
+        return out
+
+
+class OnlineProfile:
+    """Streaming KDE normal profile with batch updates.
+
+    Replicates :class:`~repro.core.movement.NormalProfile` exactly — the
+    initialisation KDE over the first ``init_samples`` observations, the
+    ``(100 - alpha)``-th percentile threshold, the accept/reject batch
+    update with ``drop_oldest = batch_size`` — while consuming whole
+    value segments at once: between profile-batch boundaries the
+    threshold is constant, so the anomaly compares vectorise.  Threshold
+    re-solves warm-start from the chain's previous threshold via
+    :meth:`~repro.ml.kde.GaussianKDE.percentile` (the shared
+    safeguarded-Newton engine), exactly like the scalar profile.
+    """
+
+    def __init__(self, config: MDConfig, init_samples: int) -> None:
+        if init_samples < 2:
+            raise ValueError("init_samples must be >= 2")
+        self._config = config
+        self._init_samples = int(init_samples)
+        self._init_buffer: List[float] = []
+        self._kde: Optional[GaussianKDE] = None
+        self._threshold: Optional[float] = None
+        self._pending: List[np.ndarray] = []
+        self._pending_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_ready(self) -> bool:
+        return self._kde is not None
+
+    @property
+    def threshold(self) -> Optional[float]:
+        return self._threshold
+
+    @property
+    def kde(self) -> Optional[GaussianKDE]:
+        return self._kde
+
+    def _rebuild_threshold(self) -> None:
+        assert self._kde is not None
+        self._threshold = self._kde.percentile(
+            100.0 - self._config.alpha, x0=self._threshold
+        )
+
+    # ------------------------------------------------------------------ #
+    def extend(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume ``s_t`` values; return ``(decisions, thresholds)``.
+
+        ``decisions`` is int8 per value: ``-1`` while the profile is
+        initialising (the scalar path's ``None``), ``0`` normal, ``1``
+        anomalous.  ``thresholds`` is the threshold in force *after* each
+        observation (NaN while initialising) — the streaming
+        :attr:`~repro.core.movement.OfflineMDResult.threshold_trace`.
+        """
+        values = np.ascontiguousarray(np.asarray(values, dtype=float).ravel())
+        n = values.shape[0]
+        decisions = np.full(n, -1, dtype=np.int8)
+        thresholds = np.full(n, np.nan)
+        pos = 0
+        if not self.is_ready:
+            take = min(self._init_samples - len(self._init_buffer), n)
+            self._init_buffer.extend(float(v) for v in values[:take])
+            pos = take
+            if len(self._init_buffer) >= self._init_samples:
+                self._kde = GaussianKDE(self._init_buffer)
+                self._rebuild_threshold()
+                thresholds[take - 1] = self._threshold
+            else:
+                return decisions, thresholds
+
+        b = self._config.batch_size
+        while pos < n:
+            assert self._threshold is not None
+            room = b - self._pending_count
+            seg = values[pos : pos + room]
+            flags = seg >= self._threshold
+            decisions[pos : pos + seg.shape[0]] = flags
+            thresholds[pos : pos + seg.shape[0]] = self._threshold
+            self._pending.append(seg)
+            self._pending_count += seg.shape[0]
+            pos += seg.shape[0]
+            if self._pending_count >= b:
+                batch = (
+                    self._pending[0]
+                    if len(self._pending) == 1
+                    else np.concatenate(self._pending)
+                )
+                anomalous_in_batch = int(
+                    np.count_nonzero(batch >= self._threshold)
+                )
+                if anomalous_in_batch / batch.shape[0] < self._config.tau:
+                    assert self._kde is not None
+                    self._kde = self._kde.updated(
+                        batch, drop_oldest=batch.shape[0]
+                    )
+                    self._rebuild_threshold()
+                    # The scalar path rebuilds while observing the batch's
+                    # last value, so the trace shows the new threshold
+                    # there already.
+                    thresholds[pos - 1] = self._threshold
+                self._pending = []
+                self._pending_count = 0
+        return decisions, thresholds
+
+
+class WindowTracker:
+    """Variation-window automaton: open/merge/close plus per-step ``dW_t``.
+
+    The scalar bookkeeping of :class:`~repro.core.movement.MovementDetector`
+    factored out so the streaming detector, the boundary tests and any
+    other per-step consumer share one implementation: a window opens at
+    the first anomalous instant, stays open through non-anomalous
+    observations arriving within ``merge_gap_s`` of the last anomalous
+    one, and closes (recording the completed
+    :class:`~repro.core.windows.VariationWindow`) at the first observation
+    arriving strictly later than the gap.
+    """
+
+    def __init__(self, merge_gap_s: float) -> None:
+        self._gap = float(merge_gap_s)
+        self._window_start: Optional[float] = None
+        self._last_anomalous_t: Optional[float] = None
+        self._completed: List[VariationWindow] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def window_start(self) -> Optional[float]:
+        return self._window_start
+
+    @property
+    def completed_windows(self) -> List[VariationWindow]:
+        return list(self._completed)
+
+    def current_window(self, t: float) -> Optional[VariationWindow]:
+        if self._window_start is None:
+            return None
+        return VariationWindow(self._window_start, t)
+
+    def current_window_duration(self, t: float) -> float:
+        if self._window_start is None:
+            return 0.0
+        return max(t - self._window_start, 0.0)
+
+    # ------------------------------------------------------------------ #
+    def update(self, t: float, anomalous: bool) -> float:
+        """Advance by one observation; return ``dW_t`` at ``t``."""
+        if anomalous:
+            if self._window_start is None:
+                self._window_start = t
+            self._last_anomalous_t = t
+        elif (
+            self._window_start is not None
+            and self._last_anomalous_t is not None
+            and (t - self._last_anomalous_t) > self._gap
+        ):
+            self._completed.append(
+                VariationWindow(self._window_start, self._last_anomalous_t)
+            )
+            self._window_start = None
+            self._last_anomalous_t = None
+        if self._window_start is None:
+            return 0.0
+        return t - self._window_start
+
+    def finalize(self) -> None:
+        """Close any open window at the end of a stream."""
+        if self._window_start is not None and self._last_anomalous_t is not None:
+            self._completed.append(
+                VariationWindow(self._window_start, self._last_anomalous_t)
+            )
+            self._window_start = None
+            self._last_anomalous_t = None
+
+
+@dataclass(frozen=True)
+class DetectionBlock:
+    """Everything the kernel derived from one consumed sample batch.
+
+    Attributes
+    ----------
+    times:
+        The batch timestamps.
+    std_sums:
+        ``s_t`` per instant (NaN where undefined).
+    decisions:
+        int8 per instant: ``-1`` initialising, ``0`` normal, ``1``
+        anomalous.
+    thresholds:
+        Anomaly threshold in force after each instant (NaN while
+        initialising).
+    durations:
+        ``dW_t`` per instant — the quantity driving the controller.
+    """
+
+    times: np.ndarray
+    std_sums: np.ndarray
+    decisions: np.ndarray
+    thresholds: np.ndarray
+    durations: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.times.shape[0])
+
+    @property
+    def anomalous(self) -> np.ndarray:
+        """Boolean anomaly flags (initialising counts as not anomalous)."""
+        return self.decisions == 1
+
+
+class OnlineDetector:
+    """The streaming MD kernel: Algorithm 1 with bounded state.
+
+    Consumes timestamped multi-stream sample batches (of any size,
+    including single samples) and produces per-instant ``s_t``, anomaly
+    decisions, thresholds and window durations — bit-identical to the
+    columnar offline kernel over the concatenated stream and to the
+    per-sample :class:`~repro.core.movement.MovementDetector`, whatever
+    the arrival batching.
+
+    Parameters
+    ----------
+    stream_ids:
+        Monitored stream ids, fixing the column order of sample batches.
+    config:
+        MD parameters.
+    sample_rate_hz:
+        Sampling rate of the stream (window sizes derive from it exactly
+        like the scalar detector's).
+    """
+
+    def __init__(
+        self,
+        stream_ids: Sequence[str],
+        config: Optional[MDConfig] = None,
+        sample_rate_hz: float = 4.0,
+    ) -> None:
+        if sample_rate_hz <= 0:
+            raise ValueError("sample_rate_hz must be positive")
+        self._stream_ids = list(stream_ids)
+        if not self._stream_ids:
+            raise ValueError("at least one stream id is required")
+        self._config = config if config is not None else MDConfig()
+        self._rate = float(sample_rate_hz)
+        window_samples = max(
+            int(round(self._config.std_window_s * self._rate)), 2
+        )
+        init_samples = max(
+            int(round(self._config.profile_init_s * self._rate)), 2
+        )
+        self._std = OnlineStdSum(len(self._stream_ids), window_samples)
+        self._profile = OnlineProfile(self._config, init_samples)
+        self._windows = WindowTracker(self._config.merge_gap_s)
+        self._last_t: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def stream_ids(self) -> List[str]:
+        return list(self._stream_ids)
+
+    @property
+    def config(self) -> MDConfig:
+        return self._config
+
+    @property
+    def profile(self) -> OnlineProfile:
+        return self._profile
+
+    @property
+    def samples_seen(self) -> int:
+        return self._std.samples_seen
+
+    @property
+    def completed_windows(self) -> List[VariationWindow]:
+        return self._windows.completed_windows
+
+    def current_window(self, t: float) -> Optional[VariationWindow]:
+        return self._windows.current_window(t)
+
+    def current_window_duration(self, t: float) -> float:
+        """``dW_t``: duration of the open variation window at ``t`` (0 if none)."""
+        return self._windows.current_window_duration(t)
+
+    def finalize(self) -> None:
+        """Close any open variation window at the end of the stream."""
+        self._windows.finalize()
+
+    # ------------------------------------------------------------------ #
+    def process_block(
+        self, times: np.ndarray, matrix: np.ndarray
+    ) -> DetectionBlock:
+        """Consume one timestamped sample batch.
+
+        ``times`` is a strictly increasing ``(m,)`` array continuing the
+        stream (every timestamp must be later than everything already
+        consumed); ``matrix`` is the ``(m, n_streams)`` sample block in
+        ``stream_ids`` order.
+        """
+        times = np.asarray(times, dtype=float)
+        matrix = np.asarray(matrix, dtype=float)
+        if times.ndim != 1 or matrix.ndim != 2:
+            raise ValueError("times must be (m,) and matrix (m, n_streams)")
+        if times.shape[0] != matrix.shape[0]:
+            raise ValueError("times and matrix must have equal length")
+        m = times.shape[0]
+        if m == 0:
+            empty = np.empty(0)
+            return DetectionBlock(
+                times=times,
+                std_sums=empty,
+                decisions=np.empty(0, dtype=np.int8),
+                thresholds=empty.copy(),
+                durations=empty.copy(),
+            )
+        first = float(times[0])
+        if (self._last_t is not None and first <= self._last_t) or (
+            m > 1 and bool(np.any(np.diff(times) <= 0))
+        ):
+            raise ValueError(
+                "samples must arrive in strictly increasing time order"
+            )
+
+        std_sums = self._std.extend(matrix)
+        decisions = np.full(m, -1, dtype=np.int8)
+        thresholds = np.full(m, np.nan)
+        defined = ~np.isnan(std_sums)
+        if defined.any():
+            d, th = self._profile.extend(std_sums[defined])
+            decisions[defined] = d
+            thresholds[defined] = th
+
+        durations = np.empty(m)
+        tracker = self._windows
+        flags = (decisions == 1).tolist()
+        for i, (t, f) in enumerate(zip(times.tolist(), flags)):
+            durations[i] = tracker.update(t, f)
+        self._last_t = float(times[-1])
+        return DetectionBlock(
+            times=times,
+            std_sums=std_sums,
+            decisions=decisions,
+            thresholds=thresholds,
+            durations=durations,
+        )
+
+    def process(self, t: float, sample: Mapping[str, float]) -> Optional[bool]:
+        """Consume one sample dict; return the anomaly decision (or ``None``).
+
+        The per-sample convenience entry point with the exact signature
+        and semantics of :meth:`MovementDetector.process` — ``None``
+        while the std window or the normal profile is still initialising.
+        """
+        row = np.array(
+            [[float(sample[sid]) for sid in self._stream_ids]], dtype=float
+        )
+        block = self.process_block(np.asarray([t], dtype=float), row)
+        decision = int(block.decisions[0])
+        if decision < 0:
+            return None
+        return bool(decision)

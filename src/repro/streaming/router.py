@@ -1,0 +1,287 @@
+"""Multi-tenant ingestion: many offices, sharded workers, bounded queues.
+
+:class:`IngestRouter` is the front-end the north-star service shape calls
+for: every office (*tenant*) owns an independent
+:class:`~repro.streaming.detector.OnlineDetector`, tenants are assigned
+round-robin to a fixed worker shard at registration, and each shard is one
+worker thread consuming a bounded :class:`queue.Queue`.  The design gives
+three guarantees:
+
+* **per-tenant FIFO** — a tenant's batches are processed by exactly one
+  worker in submission order, so its decision stream is never reordered
+  (batches of *different* tenants on different shards may interleave
+  freely, which is fine — their detectors share no state);
+* **backpressure** — :meth:`IngestRouter.submit` blocks once the target
+  shard's queue holds ``queue_capacity`` batches, so a slow shard
+  throttles its producers instead of buffering unboundedly;
+* **clean drain/flush** — :meth:`IngestRouter.drain` blocks until every
+  submitted batch is fully processed, and :meth:`IngestRouter.close`
+  drains, stops the workers, and closes every tenant's open variation
+  window (:meth:`~repro.streaming.detector.OnlineDetector.finalize`), so
+  shutdown never drops work in flight.
+
+Worker exceptions (e.g. out-of-order timestamps from a misbehaving
+source) are captured and re-raised on the submitting/draining thread, not
+swallowed in the worker.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.config import MDConfig
+from .detector import DetectionBlock, OnlineDetector
+from .source import SampleBatch
+
+__all__ = ["IngestRouter", "RouterStats", "TenantState"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class RouterStats:
+    """Counters describing one router's lifetime.
+
+    ``submitted == processed`` after a successful :meth:`IngestRouter.drain`
+    (nothing in flight); ``max_queue_depth`` reaching ``queue_capacity``
+    means backpressure actually engaged.
+    """
+
+    n_tenants: int = 0
+    batches_submitted: int = 0
+    batches_processed: int = 0
+    samples_processed: int = 0
+    max_queue_depth: int = 0
+
+
+@dataclass
+class TenantState:
+    """Everything the router holds for one office."""
+
+    tenant: str
+    shard: int
+    detector: OnlineDetector
+    blocks: List[DetectionBlock] = field(default_factory=list)
+    n_batches: int = 0
+    n_samples: int = 0
+
+    def concatenated(self) -> DetectionBlock:
+        """The tenant's whole decision stream as one block."""
+        if not self.blocks:
+            empty = np.empty(0)
+            return DetectionBlock(
+                times=empty,
+                std_sums=empty.copy(),
+                decisions=np.empty(0, dtype=np.int8),
+                thresholds=empty.copy(),
+                durations=empty.copy(),
+            )
+        return DetectionBlock(
+            times=np.concatenate([b.times for b in self.blocks]),
+            std_sums=np.concatenate([b.std_sums for b in self.blocks]),
+            decisions=np.concatenate([b.decisions for b in self.blocks]),
+            thresholds=np.concatenate([b.thresholds for b in self.blocks]),
+            durations=np.concatenate([b.durations for b in self.blocks]),
+        )
+
+
+class IngestRouter:
+    """Route sample batches from many offices to sharded detector workers.
+
+    Parameters
+    ----------
+    n_workers:
+        Worker shard count.  Tenants are assigned round-robin at
+        registration and never migrate, preserving per-tenant order.
+    queue_capacity:
+        Bound of each shard's batch queue — the backpressure knob.
+        Producers block in :meth:`submit` once their tenant's shard is
+        this far behind.
+    config / sample_rate_hz:
+        Defaults for detectors built at registration (overridable per
+        tenant).
+    keep_blocks:
+        Keep every processed :class:`DetectionBlock` on the tenant state
+        (the load-generator / equivalence-test mode).  A long-running
+        service would set this ``False`` and act on
+        :attr:`TenantState.detector` instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 4,
+        queue_capacity: int = 64,
+        config: Optional[MDConfig] = None,
+        sample_rate_hz: float = 4.0,
+        keep_blocks: bool = True,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self._config = config if config is not None else MDConfig()
+        self._rate = float(sample_rate_hz)
+        self._keep_blocks = bool(keep_blocks)
+        self._tenants: Dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+        self.stats = RouterStats()
+        self._queues: List["queue.Queue"] = [
+            queue.Queue(maxsize=queue_capacity) for _ in range(n_workers)
+        ]
+        self._failure: Optional[BaseException] = None
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(q,),
+                name=f"ingest-worker-{i}",
+                daemon=True,
+            )
+            for i, q in enumerate(self._queues)
+        ]
+        for w in self._workers:
+            w.start()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_workers(self) -> int:
+        return len(self._queues)
+
+    @property
+    def tenants(self) -> List[str]:
+        with self._lock:
+            return list(self._tenants.keys())
+
+    def tenant_state(self, tenant: str) -> TenantState:
+        with self._lock:
+            return self._tenants[tenant]
+
+    def _check_failure(self) -> None:
+        if self._failure is not None:
+            raise RuntimeError(
+                "an ingest worker failed; the router is unusable"
+            ) from self._failure
+
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        tenant: str,
+        stream_ids: Sequence[str],
+        *,
+        config: Optional[MDConfig] = None,
+        sample_rate_hz: Optional[float] = None,
+    ) -> TenantState:
+        """Register an office, assigning it to the next shard round-robin."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        with self._lock:
+            if tenant in self._tenants:
+                raise ValueError(f"tenant {tenant!r} is already registered")
+            shard = len(self._tenants) % len(self._queues)
+            state = TenantState(
+                tenant=tenant,
+                shard=shard,
+                detector=OnlineDetector(
+                    stream_ids,
+                    config if config is not None else self._config,
+                    sample_rate_hz=(
+                        sample_rate_hz
+                        if sample_rate_hz is not None
+                        else self._rate
+                    ),
+                ),
+            )
+            self._tenants[tenant] = state
+            self.stats.n_tenants += 1
+            return state
+
+    def submit(self, batch: SampleBatch) -> None:
+        """Enqueue one batch; blocks when the tenant's shard queue is full."""
+        self._check_failure()
+        if self._closed:
+            raise RuntimeError("router is closed")
+        with self._lock:
+            state = self._tenants.get(batch.tenant)
+        if state is None:
+            raise KeyError(
+                f"tenant {batch.tenant!r} is not registered with this router"
+            )
+        q = self._queues[state.shard]
+        q.put((state, batch))
+        depth = q.qsize()
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        self.stats.batches_submitted += 1
+
+    def drain(self) -> None:
+        """Block until every submitted batch has been fully processed."""
+        for q in self._queues:
+            q.join()
+        self._check_failure()
+
+    def close(self) -> None:
+        """Drain, stop the workers, and finalize every tenant's detector."""
+        if self._closed:
+            return
+        self._closed = True
+        failure: Optional[BaseException] = None
+        try:
+            for q in self._queues:
+                q.join()
+        finally:
+            for q in self._queues:
+                q.put(_SHUTDOWN)
+            for w in self._workers:
+                w.join()
+        failure = self._failure
+        for state in self._tenants.values():
+            state.detector.finalize()
+        if failure is not None:
+            raise RuntimeError(
+                "an ingest worker failed; the router is unusable"
+            ) from failure
+
+    def __enter__(self) -> "IngestRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            # Already failing: best-effort shutdown without masking the
+            # original exception.
+            try:
+                self.close()
+            except RuntimeError:
+                pass
+
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self, q: "queue.Queue") -> None:
+        while True:
+            item = q.get()
+            if item is _SHUTDOWN:
+                q.task_done()
+                return
+            state, batch = item
+            try:
+                if self._failure is None:
+                    block = state.detector.process_block(
+                        batch.times, batch.samples
+                    )
+                    if self._keep_blocks:
+                        state.blocks.append(block)
+                    state.n_batches += 1
+                    state.n_samples += batch.n_samples
+                    self.stats.batches_processed += 1
+                    self.stats.samples_processed += batch.n_samples
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                if self._failure is None:
+                    self._failure = exc
+            finally:
+                q.task_done()

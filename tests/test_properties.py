@@ -266,6 +266,44 @@ class TestQuantileSolverProperties:
         bisect = bisect_quantiles(data, h, q, tol=1e-6)
         assert np.abs(newton - bisect).max() <= 1e-6
 
+    @settings(max_examples=5, deadline=None)
+    @given(
+        n=st.integers(min_value=10, max_value=60),
+        q=st.floats(min_value=90.0, max_value=99.5),
+        drift=st.floats(min_value=-2e-3, max_value=2e-3),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_chained_warm_starts_stay_within_bound_under_drift(
+        self, n, q, drift, seed
+    ):
+        """1000+ warm-started re-solves of a drifting profile never degrade.
+
+        The streaming engine's profile maintenance re-solves the threshold
+        after every accepted batch, warm-starting Newton from the chain's
+        previous threshold (``x0``) while the underlying profile drifts
+        slowly — exactly the long-running-service regime.  A warm start far
+        from the drifted solution must not push Newton outside the pinned
+        ``|Newton - bisect| <= 1e-6`` bound at *any* point of the chain.
+        """
+        rng = np.random.default_rng(seed)
+        window = rng.normal(10.0, 1.0, n)
+        kde = GaussianKDE(window)
+        x0 = None
+        for step in range(1000):
+            threshold = kde.percentile(q, x0=x0, tol=1e-6)
+            reference = bisect_quantiles(
+                kde.data[np.newaxis, :],
+                np.array([kde.bandwidth]),
+                q,
+                tol=1e-6,
+            )[0]
+            assert abs(threshold - reference) <= 1e-6
+            x0 = threshold
+            # Slow drift: the profile window slides one sample per step,
+            # its mean creeping away from where the chain started.
+            fresh = rng.normal(10.0 + drift * step, 1.0 + 0.2 * abs(drift) * step)
+            kde = kde.updated([fresh], drop_oldest=1)
+
     @settings(max_examples=25, deadline=None)
     @given(
         rows=st.integers(min_value=2, max_value=10),

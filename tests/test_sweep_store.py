@@ -197,6 +197,70 @@ class TestSweepStore:
         store.put("a", self.KEY, self.PAYLOAD)
         assert store.get("a", self.KEY) == self.PAYLOAD
 
+    def _mangle(self, store, name, mutate):
+        path = store.record_path(name)
+        record = json.loads(path.read_text())
+        mutate(record)
+        path.write_text(json.dumps(record), encoding="utf-8")
+
+    def test_missing_fingerprint_block_is_stale(self, tmp_path):
+        # A record whose JSON parses but whose fingerprint block is gone
+        # must count as stale — not crash, not serve as a hit.
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        self._mangle(store, "a", lambda r: r.pop("key"))
+        assert store.get("a", self.KEY) is None
+        assert store.stats.as_dict() == {
+            "hits": 0, "misses": 0, "stale": 1, "writes": 1,
+        }
+
+    def test_old_format_version_is_stale(self, tmp_path):
+        # RECORD_FORMAT's contract: incompatible layouts read as stale
+        # (the record *is* this scenario's, just from an older writer).
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        self._mangle(store, "a", lambda r: r.update(format=0))
+        assert store.get("a", self.KEY) is None
+        assert store.stats.stale == 1 and store.stats.misses == 0
+
+    def test_missing_result_block_is_stale(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        self._mangle(store, "a", lambda r: r.pop("result"))
+        assert store.get("a", self.KEY) is None
+        assert store.stats.stale == 1 and store.stats.misses == 0
+
+    def test_foreign_record_on_the_slot_is_a_miss(self, tmp_path):
+        # A file squatting on the scenario's path that is not one of its
+        # records (different name, or not a record at all) is a miss: the
+        # scenario was never stored.
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        self._mangle(store, "a", lambda r: r.update(name="somebody-else"))
+        assert store.get("a", self.KEY) is None
+        assert store.stats.misses == 1 and store.stats.stale == 0
+        store.record_path("a").write_text("[1, 2, 3]", encoding="utf-8")
+        assert store.get("a", self.KEY) is None
+        assert store.stats.misses == 2 and store.stats.stale == 0
+
+    def test_lookups_partition_into_hits_misses_stale(self, tmp_path):
+        # Every get() lands in exactly one counter, so the three always
+        # sum to the number of lookups — whatever mix of good, mangled,
+        # foreign and absent records the store holds.
+        store = SweepStore(tmp_path)
+        store.put("good", self.KEY, self.PAYLOAD)
+        store.put("mangled", self.KEY, self.PAYLOAD)
+        self._mangle(store, "mangled", lambda r: r.pop("key"))
+        store.put("wrong-key", {**self.KEY, "sim_index": 9}, self.PAYLOAD)
+        store.record_path("corrupt").write_text("{not json", encoding="utf-8")
+        for name in ("good", "mangled", "wrong-key", "corrupt", "absent"):
+            store.get(name, self.KEY)
+        stats = store.stats
+        assert stats.hits + stats.misses + stats.stale == 5
+        assert stats.as_dict() == {
+            "hits": 1, "misses": 2, "stale": 2, "writes": 3,
+        }
+
     def test_writes_are_atomic_no_temp_leftovers(self, tmp_path):
         store = SweepStore(tmp_path)
         for i in range(5):
@@ -437,7 +501,10 @@ class TestResumableSweep:
         assert stats.hits == len(cold.results) - 1
         assert stats.hits + stats.misses + stats.stale == len(cold.results)
 
-    def test_non_dict_result_payload_is_a_miss(self, tmp_path):
+    def test_non_dict_result_payload_is_stale(self, tmp_path):
+        # The record is recognisably ours (name matches) but its result
+        # block is mangled: unusable, so `stale` — and invisible to
+        # names(), which only lists well-formed records.
         store = SweepStore(tmp_path)
         store.put("a", TestSweepStore.KEY, {"ok": 1})
         path = store.record_path("a")
@@ -445,6 +512,7 @@ class TestResumableSweep:
         record["result"] = ["not", "a", "dict"]
         path.write_text(json.dumps(record), encoding="utf-8")
         assert store.get("a", TestSweepStore.KEY) is None
+        assert store.stats.stale == 1 and store.stats.misses == 0
         assert store.names() == []
 
     def test_run_without_store_unchanged(self, counting_run_tasks):
