@@ -1,0 +1,152 @@
+"""Benchmark / CI smoke: distributed cooperative sweep execution.
+
+Exercises the lease-claim work queue at benchmark scale and gates it:
+
+1. a serial cold sweep fills a fresh :class:`SweepStore` — the reference;
+2. two worker *processes* cooperatively fill another fresh store through
+   :func:`run_prioritized` (lease claims, heartbeats, per-grid log, the
+   driver's final closing pass) and must beat the serial cold run by
+   ``MIN_DISTRIBUTED_SPEEDUP`` — the whole point of the queue is that
+   adding workers buys wall-clock time;
+3. bit-identity is asserted *inside* the gate: the distributed report must
+   equal the serial ``to_dict()`` exactly — parallelism may never change
+   a number — and the store must hold exactly one record per scenario
+   with no leftover lease files.
+
+The grid is eight homogeneous simulation keys (8 replicates x 1 config),
+so two workers can split the claims 4/4; day length follows
+``--sweep-day-s`` (``--paper-scale`` runs full 8-hour days).
+
+Single-core hosts: two processes time-slicing one CPU cannot beat a
+serial run on wall-clock, so when fewer than two CPUs are available the
+gate degrades to an *overhead bound* — the cooperative fill may not cost
+more than ``1 / MIN_SINGLE_CORE_RATIO`` of the serial run — while the
+identity and record-integrity assertions hold unchanged.  Multi-core CI
+enforces the real speedup.
+"""
+
+import os
+
+from repro.analysis.campaign import CampaignScale
+from repro.analysis.scenarios import ScenarioGrid, ScenarioSweepRunner
+from repro.analysis.sweep_queue import GridJob, run_prioritized
+from repro.analysis.sweep_store import SweepStore, name_slug
+from repro.core.config import FadewichConfig
+from repro.radio.office import paper_office
+
+#: Two workers over eight equal-cost simulation keys would ideally halve
+#: the wall time; 1.5x leaves room for process start-up, claim overhead
+#: and the driver's closing warm pass on loaded CI runners, while still
+#: failing loudly if the fleet ever stops actually sharing the work.
+MIN_DISTRIBUTED_SPEEDUP = 1.5
+
+#: The single-core fallback: with one CPU the fleet *cannot* be faster,
+#: but claims, heartbeats, per-pass store reloads and the closing pass
+#: must stay cheap — the cooperative fill may cost at most ~1.7x the
+#: serial run (ratio >= 0.6).
+MIN_SINGLE_CORE_RATIO = 0.6
+
+DISTRIBUTED_SEED = 29
+
+GRID_NAME = "distributed-bench"
+
+
+def _distributed_grid(request) -> ScenarioGrid:
+    if request.config.getoption("--paper-scale"):
+        day_s = 8 * 3600.0
+    else:
+        day_s = float(request.config.getoption("--sweep-day-s"))
+    scale = CampaignScale(
+        name="distributed-bench",
+        n_days=2,
+        day_duration_s=day_s,
+        departures_per_hour=6.5,
+        mean_absence_s=150.0,
+        min_absence_s=45.0,
+        internal_moves_per_hour=2.0,
+    )
+    # Eight replicates of one configuration: eight equal-cost simulation
+    # keys, the cleanest load to split across two claimants.
+    return ScenarioGrid(
+        layouts=[paper_office()],
+        scales=[scale],
+        configs={"default": FadewichConfig()},
+        n_replicates=8,
+        sensor_counts=(3, 6),
+    )
+
+
+def test_distributed_sweep(request, tmp_path, best_of, speedup_gate):
+    grid = _distributed_grid(request)
+
+    def make_runner() -> ScenarioSweepRunner:
+        return ScenarioSweepRunner(
+            grid, seed=DISTRIBUTED_SEED, mode="serial", re_sensor_counts=()
+        )
+
+    # --- 1. serial cold reference -------------------------------------- #
+    serial_store = SweepStore(tmp_path / "serial-store")
+    t_serial, serial = best_of(
+        lambda: make_runner().run(store=serial_store), repeats=1
+    )
+    assert len(serial.results) == len(grid) == 8
+
+    # --- 2. two-process cooperative cold fill -------------------------- #
+    job = GridJob(
+        name=GRID_NAME,
+        grid=grid,
+        seed=DISTRIBUTED_SEED,
+        re_sensor_counts=(),
+    )
+    fleet_root = tmp_path / "fleet-store"
+
+    def cooperative_fill():
+        return run_prioritized(
+            [job],
+            fleet_root,
+            workers=2,
+            claim_chunk=1,
+            poll_interval_s=0.05,
+            worker_timeout_s=600.0,
+            log_dir=tmp_path / "logs",
+            report_path=None,
+            mp_context="fork",
+        )
+
+    t_fleet, result = best_of(cooperative_fill, repeats=1)
+
+    # --- 3. identity inside the gate ----------------------------------- #
+    distributed = result.reports[GRID_NAME]
+    assert distributed.to_dict() == serial.to_dict(), (
+        "distributed fill diverged from the serial report"
+    )
+    fleet_store = SweepStore(fleet_root / name_slug(GRID_NAME))
+    assert len(fleet_store.names()) == len(grid), (
+        "fleet left lost or duplicated records"
+    )
+    assert not list(fleet_store.path.glob("*.lease")), (
+        "fleet left lease files behind"
+    )
+    # Both workers ran and exited cleanly (the per-grid log records it).
+    log_text = result.log_paths[GRID_NAME].read_text(encoding="utf-8")
+    assert "worker exit codes [0, 0]" in log_text
+
+    # --- 4. gate: two workers must actually buy wall-clock time -------- #
+    try:
+        n_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        n_cpus = os.cpu_count() or 1
+    multi_core = n_cpus >= 2
+    speedup_gate(
+        "distributed sweep",
+        t_serial,
+        t_fleet,
+        MIN_DISTRIBUTED_SPEEDUP if multi_core else MIN_SINGLE_CORE_RATIO,
+        reference_name="serial cold fill ",
+        fast_name="2-process fill   ",
+        detail=(
+            f"{len(grid)} simulation keys x {grid.scales[0].n_days} days, "
+            f"lease-claim work queue, fork workers, {n_cpus} CPU(s)"
+            + ("" if multi_core else " [single-core overhead bound]")
+        ),
+    )

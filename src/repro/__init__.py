@@ -31,6 +31,7 @@ True
 from .core.config import FadewichConfig, MDConfig, REConfig
 from .core.system import FadewichSystem
 from .radio.office import OfficeLayout, paper_office, wide_office
+from .analysis.sweep_queue import SweepWorker, run_prioritized
 from .simulation.collector import CampaignCollector, CampaignRecording
 from .simulation.runner import CampaignRunner, DayTask
 from .streaming import IngestRouter, OnlineDetector
@@ -72,7 +73,17 @@ from .streaming import IngestRouter, OnlineDetector
 # scenario with a missing fingerprint block, mangled result or old format
 # count as stale, foreign/corrupt files as misses — the three counters
 # partition every lookup).
-__version__ = "2.5.0"
+# 2.6.0: distributed sweep execution — repro.analysis.sweep_queue
+# (LeaseManager: atomic hard-link claims with heartbeat TTL expiry;
+# SweepWorker: claim → bit-identical partial recollection → put →
+# release; run_prioritized: named grids in priority order over N worker
+# processes, per-grid stores/logs, merged SWEEP_report.json);
+# ScenarioSweepRunner.run grows a cooperative claim_filter mode;
+# SweepStore record filenames are bounded and escape-proof, StoreStats is
+# thread-safe (hits+misses+stale == lookups under concurrency);
+# IngestRouter lifecycle edges (submit-after-close race, drain/close
+# after failure) made deterministic.
+__version__ = "2.6.0"
 
 __all__ = [
     "CampaignCollector",
@@ -86,9 +97,11 @@ __all__ = [
     "OfficeLayout",
     "OnlineDetector",
     "REConfig",
+    "SweepWorker",
     "__version__",
     "paper_office",
     "quick_campaign",
+    "run_prioritized",
     "wide_office",
 ]
 

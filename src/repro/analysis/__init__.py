@@ -16,7 +16,11 @@ and renders it as text:
 the :class:`~repro.analysis.campaign.AnalysisContext` cache they all build
 on; :mod:`~repro.analysis.scenarios` sweeps grids of whole scenarios
 (layouts x behaviours x channels x configs x replicates) through the batch
-engines and aggregates the results into one report.
+engines and aggregates the results into one report;
+:mod:`~repro.analysis.sweep_queue` lets N processes/hosts cooperatively
+fill one :class:`~repro.analysis.sweep_store.SweepStore` through expiring
+lease-file claims (:func:`~repro.analysis.sweep_queue.run_prioritized`
+batches named grids in priority order).
 """
 
 from .campaign import AnalysisContext, CampaignScale, collect_campaign
@@ -54,6 +58,14 @@ from .scenarios import (
     SweepReport,
     SweepRunStats,
 )
+from .sweep_queue import (
+    GridJob,
+    LeaseManager,
+    PrioritizedRunResult,
+    SweepWorker,
+    SweepWorkerStats,
+    run_prioritized,
+)
 from .sweep_store import StoreStats, SweepStore
 from .security_eval import (
     AttackOpportunityRow,
@@ -79,7 +91,10 @@ __all__ = [
     "DeauthCurve",
     "EventTable",
     "FMeasureCurve",
+    "GridJob",
+    "LeaseManager",
     "MDTableRow",
+    "PrioritizedRunResult",
     "ScenarioGrid",
     "ScenarioResult",
     "ScenarioSpec",
@@ -90,6 +105,8 @@ __all__ = [
     "SweepReport",
     "SweepRunStats",
     "SweepStore",
+    "SweepWorker",
+    "SweepWorkerStats",
     "TradeoffPoint",
     "UsabilityTableRow",
     "VarianceCorrelationResult",
@@ -120,4 +137,5 @@ __all__ = [
     "render_tradeoff",
     "render_usability_table",
     "render_variance_correlations",
+    "run_prioritized",
 ]

@@ -55,6 +55,7 @@ import math
 from collections import Counter
 from dataclasses import dataclass, field, replace
 from typing import (
+    Callable,
     Collection,
     Dict,
     Iterator,
@@ -671,6 +672,11 @@ class SweepRunStats:
     items compiled for collection — the resume-identity contract is that a
     fully warm store yields ``n_day_tasks == 0`` and a half-warm store only
     the missing simulations' days.
+
+    ``n_unclaimed`` is only non-zero in cooperative runs (``run`` with a
+    ``claim_filter``): scenarios that were neither cached nor granted to
+    this runner, i.e. left for other workers.  A run is *complete* —
+    its report covers the whole grid — iff ``n_unclaimed == 0``.
     """
 
     n_scenarios: int
@@ -678,6 +684,11 @@ class SweepRunStats:
     n_analyzed: int
     n_simulations: int
     n_day_tasks: int
+    n_unclaimed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.n_unclaimed == 0
 
 
 class ScenarioSweepRunner:
@@ -944,7 +955,35 @@ class ScenarioSweepRunner:
             "content_hash": spec.content_hash(),
         }
 
-    def run(self, store: Optional[SweepStore] = None) -> SweepReport:
+    def _load_stored(
+        self, store: SweepStore, spec: ScenarioSpec, key: Dict[str, object]
+    ) -> Optional[ScenarioResult]:
+        """One scenario's store record as a result, or ``None``."""
+        payload = store.get(spec.name, key)
+        if payload is None:
+            return None
+        try:
+            result = ScenarioResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            # A matching key on a mangled payload (hand-edited record,
+            # foreign writer): honour the corrupted-files-read-as-misses
+            # contract and recompute the scenario.  Reclassify the lookup
+            # the store already counted as a hit, so hits + misses + stale
+            # keeps partitioning lookups and "hits" only counts reused
+            # records.
+            store.stats.reclassify_hit_as_stale()
+            return None
+        # The runner's own spec is authoritative (the record matched its
+        # content hash and seed identity; the stored copy may carry a
+        # stale enumeration index).
+        return replace(result, spec=spec)
+
+    def run(
+        self,
+        store: Optional[SweepStore] = None,
+        *,
+        claim_filter: Optional[Callable[[Tuple[str, str, str, int]], bool]] = None,
+    ) -> SweepReport:
         """Collect and analyse the grid, returning the report.
 
         With a :class:`~repro.analysis.sweep_store.SweepStore`, grid points
@@ -961,39 +1000,64 @@ class ScenarioSweepRunner:
         resume, ``ScenarioResult.recording`` is only populated for the
         scenarios that were actually (re-)simulated.  Code needing raw
         traces for every scenario should re-run without a store.
+
+        Cooperative mode
+        ----------------
+        ``claim_filter`` (requires ``store``) turns one run into a single
+        *pass* of a multi-worker fill: the filter is asked once per missing
+        simulation key, in the deterministic ``_sim_indices`` enumeration
+        order, and only the keys it grants are collected — the sweep-queue
+        layer (:class:`~repro.analysis.sweep_queue.SweepWorker`) answers by
+        taking lease files, so concurrent workers partition the grid.
+        Because seed derivation stays keyed by the *full* grid, any
+        partition of simulation keys across workers re-collects every
+        recording bit-identically to a solo run.
+
+        Just before collecting, each granted simulation's scenarios are
+        re-checked against the store: completed records supersede claims
+        (another worker may have finished a key between the initial load
+        pass and the grant), so a crash-then-reclaim can never analyse a
+        scenario twice into diverging records.  The returned report covers
+        only the cached + granted scenarios — check
+        ``last_run_stats.n_unclaimed`` (0 means the grid is complete) or
+        ``last_run_stats.complete`` before treating it as the full grid.
         """
+        if claim_filter is not None and store is None:
+            raise ValueError("claim_filter requires a store")
         results: Dict[str, ScenarioResult] = {}
         store_keys: Dict[str, Dict[str, object]] = {}
         if store is not None:
             for spec in self._specs:
                 key = store_keys[spec.name] = self.store_key(spec)
-                payload = store.get(spec.name, key)
-                if payload is None:
-                    continue
-                try:
-                    result = ScenarioResult.from_dict(payload)
-                except (KeyError, TypeError, ValueError):
-                    # A matching key on a mangled payload (hand-edited
-                    # record, foreign writer): honour the corrupted-files-
-                    # read-as-misses contract and recompute the scenario.
-                    # Reclassify the lookup the store already counted as a
-                    # hit, so hits + misses + stale keeps partitioning
-                    # lookups and "hits" only counts reused records.
-                    store.stats.hits -= 1
-                    store.stats.stale += 1
-                    continue
-                # The runner's own spec is authoritative (the record
-                # matched its content hash and seed identity; the stored
-                # copy may carry a stale enumeration index).
-                results[spec.name] = replace(result, spec=spec)
+                result = self._load_stored(store, spec, key)
+                if result is not None:
+                    results[spec.name] = result
         n_cached = len(results)
         missing = [spec for spec in self._specs if spec.name not in results]
+        missing_keys = {spec.simulation_key() for spec in missing}
+        if claim_filter is None:
+            collect_keys = missing_keys
+        else:
+            # Ask in deterministic enumeration order so every worker walks
+            # the same sequence and lease contention stays predictable.
+            granted = {
+                key
+                for key in self._sim_indices
+                if key in missing_keys and claim_filter(key)
+            }
+            # Completed records supersede claims: re-check granted
+            # scenarios before doing any simulation work.
+            for spec in missing:
+                if spec.simulation_key() not in granted:
+                    continue
+                result = self._load_stored(store, spec, store_keys[spec.name])
+                if result is not None:
+                    results[spec.name] = result
+            missing = [s for s in self._specs if s.name not in results]
+            collect_keys = granted & {s.simulation_key() for s in missing}
         self._last_collect_task_count = 0
-        pairs = (
-            self.collect(needed={spec.simulation_key() for spec in missing})
-            if missing
-            else []
-        )
+        pairs = self.collect(needed=collect_keys) if collect_keys else []
+        n_analyzed = 0
         for spec, recording in pairs:
             if spec.name in results:
                 continue  # cached config-variant sharing a missing simulation
@@ -1001,14 +1065,20 @@ class ScenarioSweepRunner:
             if store is not None:
                 store.put(spec.name, store_keys[spec.name], result.to_dict())
             results[spec.name] = result
+            n_analyzed += 1
         self.last_run_stats = SweepRunStats(
             n_scenarios=len(self._specs),
-            n_cached=n_cached,
-            n_analyzed=len(self._specs) - n_cached,
-            n_simulations=len({s.simulation_key() for s in missing}),
+            n_cached=len(results) - n_analyzed,
+            n_analyzed=n_analyzed,
+            n_simulations=len(collect_keys),
             n_day_tasks=self._last_collect_task_count,
+            n_unclaimed=len(self._specs) - len(results),
         )
         return SweepReport(
-            results=[results[spec.name] for spec in self._specs],
+            results=[
+                results[spec.name]
+                for spec in self._specs
+                if spec.name in results
+            ],
             seed_entropy=_entropy_json(self._root),
         )

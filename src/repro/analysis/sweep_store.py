@@ -37,7 +37,8 @@ import json
 import os
 import re
 import tempfile
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Type
 
@@ -54,6 +55,7 @@ __all__ = [
     "component_to_dict",
     "component_from_dict",
     "content_hash",
+    "name_slug",
     "register_component",
     "SweepStore",
     "StoreStats",
@@ -156,6 +158,47 @@ def component_from_dict(data):
     return data
 
 
+#: Longest sanitised-name prefix kept in an on-disk filename.  The hash
+#: suffix carries the identity; the slug is only for greppability, and an
+#: unbounded one would overflow common 255-byte filename limits (a grid
+#: path name concatenates every axis name).
+_MAX_SLUG_CHARS = 80
+
+
+def name_slug(name: str) -> str:
+    """A filesystem-safe, collision-free slug of an arbitrary name.
+
+    ``<sanitised prefix>-<10 hex chars of SHA-256(name)>``: the sanitised
+    prefix keeps store directories greppable, while the hash suffix makes
+    distinct names — path-separator tricks (``a/b`` vs ``a_b``), dot
+    segments, case-colliding variants on case-insensitive filesystems,
+    over-long names sharing a truncated prefix — map to distinct slugs.
+    The result is always a single path component: separators are replaced
+    before truncation and the output is verified to contain none.
+
+    Raises ``ValueError`` for non-string or empty names and for names
+    containing NUL (which the OS would reject much less legibly).
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"name must be a str, got {type(name).__name__}")
+    if not name:
+        raise ValueError("name must be non-empty")
+    if "\x00" in name:
+        raise ValueError("name must not contain NUL")
+    # Stripping dots at the edges keeps slugs from starting with "." (a
+    # hidden file, or a dot segment for all-dot names like "..").
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_.")[:_MAX_SLUG_CHARS]
+    if not slug:
+        slug = "scenario"
+    digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:10]
+    filename = f"{slug}-{digest}"
+    # Defence in depth: whatever the sanitiser missed must never escape
+    # the store directory as a path component.
+    if os.sep in filename or (os.altsep and os.altsep in filename):
+        raise ValueError(f"unsafe name {name!r}: slug {filename!r}")
+    return filename
+
+
 def content_hash(*components) -> str:
     """SHA-256 hex digest of the canonical JSON encoding of components.
 
@@ -184,19 +227,63 @@ class StoreStats:
     that did not match, an incompatible record ``format`` version, or a
     missing/mangled fingerprint or result block — the silent-reuse hazards
     the key scheme exists to catch.  Every :meth:`SweepStore.get` lands in
-    exactly one of ``hits`` / ``misses`` / ``stale``, so the three always
-    sum to the number of lookups.
+    exactly one of ``hits`` / ``misses`` / ``stale``, so
+    ``hits + misses + stale == lookups`` at all times.
+
+    All mutation goes through the ``count_*`` methods under one lock: a
+    :class:`SweepStore` shared by several worker threads (the cooperative
+    sweep-queue mode) must not lose increments to the classic
+    read-modify-write race of bare ``+=`` on ints.
     """
 
     hits: int = 0
     misses: int = 0
     stale: int = 0
     writes: int = 0
+    lookups: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def count_hit(self) -> None:
+        with self._lock:
+            self.lookups += 1
+            self.hits += 1
+
+    def count_miss(self) -> None:
+        with self._lock:
+            self.lookups += 1
+            self.misses += 1
+
+    def count_stale(self) -> None:
+        with self._lock:
+            self.lookups += 1
+            self.stale += 1
+
+    def count_write(self) -> None:
+        with self._lock:
+            self.writes += 1
+
+    def reclassify_hit_as_stale(self) -> None:
+        """Atomically move one lookup from ``hits`` to ``stale``.
+
+        Used when a key-matching record turns out to have an unusable
+        payload only after decoding: the lookup was already counted as a
+        hit, and the partition invariant must survive the correction.
+        """
+        with self._lock:
+            self.hits -= 1
+            self.stale += 1
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(
-            hits=self.hits, misses=self.misses, stale=self.stale, writes=self.writes
-        )
+        with self._lock:
+            return dict(
+                hits=self.hits,
+                misses=self.misses,
+                stale=self.stale,
+                writes=self.writes,
+                lookups=self.lookups,
+            )
 
 
 class SweepStore:
@@ -238,10 +325,23 @@ class SweepStore:
         self.stats = StoreStats()
 
     def record_path(self, name: str) -> Path:
-        """The on-disk file of a scenario's record."""
-        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", name).strip("_") or "scenario"
-        digest = hashlib.sha256(name.encode("utf-8")).hexdigest()[:10]
-        return self._path / f"{slug}-{digest}.json"
+        """The on-disk file of a scenario's record.
+
+        Built from :func:`name_slug`, so hostile or merely awkward names
+        (path separators, ``..`` segments, case collisions, over-long grid
+        paths) can neither escape the store directory nor overwrite a
+        sibling record.
+        """
+        return self._path / f"{name_slug(name)}.json"
+
+    def lease_path(self, name: str) -> Path:
+        """The on-disk lease file of a name (see :mod:`~repro.analysis.sweep_queue`).
+
+        Leases share the record naming scheme but carry a ``.lease``
+        suffix, so they are invisible to :meth:`names` (which globs
+        ``*.json``) and can never collide with a record file.
+        """
+        return self._path / f"{name_slug(name)}.lease"
 
     @staticmethod
     def _normalise_key(key: Mapping) -> Dict:
@@ -294,16 +394,16 @@ class SweepStore:
             or not isinstance(record, dict)
             or record.get("name") != name
         ):
-            self.stats.misses += 1
+            self.stats.count_miss()
             return None
         if (
             record.get("format") != RECORD_FORMAT
             or not isinstance(record.get("result"), dict)
             or record.get("key") != self._normalise_key(key)
         ):
-            self.stats.stale += 1
+            self.stats.count_stale()
             return None
-        self.stats.hits += 1
+        self.stats.count_hit()
         return record["result"]
 
     def put(self, name: str, key: Mapping, result: Mapping) -> Path:
@@ -329,7 +429,7 @@ class SweepStore:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
+        self.stats.count_write()
         return path
 
     def delete(self, name: str) -> bool:
@@ -357,8 +457,19 @@ class SweepStore:
         return len(self.names())
 
     def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
+        """Delete every record; returns how many were removed.
+
+        Lease files (``*.lease``, written by the cooperative sweep queue)
+        are swept away too — a cleared store must not leave claims behind
+        that would block the next fleet from ever collecting the names
+        they squat on — but only records count toward the return value.
+        """
         removed = 0
         for name in self.names():
             removed += bool(self.delete(name))
+        for lease in self._path.glob("*.lease"):
+            try:
+                os.unlink(lease)
+            except OSError:
+                pass
         return removed

@@ -23,6 +23,14 @@ three guarantees:
 Worker exceptions (e.g. out-of-order timestamps from a misbehaving
 source) are captured and re-raised on the submitting/draining thread, not
 swallowed in the worker.
+
+Lifecycle edges are deterministic: ``submit()`` after (or racing with)
+``close()`` raises ``RuntimeError`` — it can never slip a batch onto a
+queue whose worker has already exited, which would make a later
+``drain()`` hang forever on ``Queue.join`` — ``drain()`` after ``close()``
+is a no-op, repeated ``close()`` is idempotent, and once a worker has
+failed *every* subsequent ``submit``/``drain``/``close``/``register``
+re-raises the failure instead of silently doing nothing.
 """
 
 from __future__ import annotations
@@ -130,10 +138,17 @@ class IngestRouter:
         self._keep_blocks = bool(keep_blocks)
         self._tenants: Dict[str, TenantState] = {}
         self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self.stats = RouterStats()
         self._queues: List["queue.Queue"] = [
             queue.Queue(maxsize=queue_capacity) for _ in range(n_workers)
         ]
+        # One submit lock per shard: submit() holds its shard's lock across
+        # the closed-recheck and the q.put, and close() cycles every lock
+        # after setting _closed, so no batch can land on a queue whose
+        # worker has already been told to shut down.
+        self._submit_locks = [threading.Lock() for _ in self._queues]
+        self._close_lock = threading.Lock()
         self._failure: Optional[BaseException] = None
         self._closed = False
         self._workers = [
@@ -178,6 +193,7 @@ class IngestRouter:
         sample_rate_hz: Optional[float] = None,
     ) -> TenantState:
         """Register an office, assigning it to the next shard round-robin."""
+        self._check_failure()
         if self._closed:
             raise RuntimeError("router is closed")
         with self._lock:
@@ -198,11 +214,17 @@ class IngestRouter:
                 ),
             )
             self._tenants[tenant] = state
-            self.stats.n_tenants += 1
+            with self._stats_lock:
+                self.stats.n_tenants += 1
             return state
 
     def submit(self, batch: SampleBatch) -> None:
-        """Enqueue one batch; blocks when the tenant's shard queue is full."""
+        """Enqueue one batch; blocks when the tenant's shard queue is full.
+
+        Raises :class:`RuntimeError` if the router is closed (or closes
+        concurrently) and re-raises the first worker failure, so a batch
+        never lands on a queue nobody will consume.
+        """
         self._check_failure()
         if self._closed:
             raise RuntimeError("router is closed")
@@ -213,39 +235,59 @@ class IngestRouter:
                 f"tenant {batch.tenant!r} is not registered with this router"
             )
         q = self._queues[state.shard]
-        q.put((state, batch))
-        depth = q.qsize()
-        if depth > self.stats.max_queue_depth:
-            self.stats.max_queue_depth = depth
-        self.stats.batches_submitted += 1
+        # Re-check under the shard's submit lock: close() sets _closed and
+        # then cycles this lock, so either we enqueue before close() starts
+        # draining, or we observe _closed and raise — never a put onto a
+        # queue whose worker has exited (which would hang a later drain()).
+        with self._submit_locks[state.shard]:
+            if self._closed:
+                raise RuntimeError("router is closed")
+            q.put((state, batch))
+            depth = q.qsize()
+        with self._stats_lock:
+            if depth > self.stats.max_queue_depth:
+                self.stats.max_queue_depth = depth
+            self.stats.batches_submitted += 1
 
     def drain(self) -> None:
-        """Block until every submitted batch has been fully processed."""
+        """Block until every submitted batch has been fully processed.
+
+        After :meth:`close`, draining is a deterministic no-op (everything
+        was already flushed); a recorded worker failure is re-raised either
+        way.  Safe to call repeatedly.
+        """
+        if self._closed:
+            self._check_failure()
+            return
         for q in self._queues:
             q.join()
         self._check_failure()
 
     def close(self) -> None:
-        """Drain, stop the workers, and finalize every tenant's detector."""
-        if self._closed:
-            return
-        self._closed = True
-        failure: Optional[BaseException] = None
-        try:
-            for q in self._queues:
-                q.join()
-        finally:
-            for q in self._queues:
-                q.put(_SHUTDOWN)
-            for w in self._workers:
-                w.join()
-        failure = self._failure
-        for state in self._tenants.values():
-            state.detector.finalize()
-        if failure is not None:
-            raise RuntimeError(
-                "an ingest worker failed; the router is unusable"
-            ) from failure
+        """Drain, stop the workers, and finalize every tenant's detector.
+
+        Idempotent — but if a worker failed, *every* call re-raises that
+        failure rather than only the first, so callers cannot miss it.
+        """
+        with self._close_lock:
+            if not self._closed:
+                self._closed = True
+                # Fence: after this, no submit() can be between its closed
+                # re-check and its q.put, so the queues only shrink.
+                for lock in self._submit_locks:
+                    with lock:
+                        pass
+                try:
+                    for q in self._queues:
+                        q.join()
+                finally:
+                    for q in self._queues:
+                        q.put(_SHUTDOWN)
+                    for w in self._workers:
+                        w.join()
+                for state in self._tenants.values():
+                    state.detector.finalize()
+        self._check_failure()
 
     def __enter__(self) -> "IngestRouter":
         return self
@@ -278,10 +320,12 @@ class IngestRouter:
                         state.blocks.append(block)
                     state.n_batches += 1
                     state.n_samples += batch.n_samples
-                    self.stats.batches_processed += 1
-                    self.stats.samples_processed += batch.n_samples
+                    with self._stats_lock:
+                        self.stats.batches_processed += 1
+                        self.stats.samples_processed += batch.n_samples
             except BaseException as exc:  # noqa: BLE001 - reported to caller
-                if self._failure is None:
-                    self._failure = exc
+                with self._stats_lock:
+                    if self._failure is None:
+                        self._failure = exc
             finally:
                 q.task_done()

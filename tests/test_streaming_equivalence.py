@@ -677,3 +677,143 @@ class TestIngestRouter:
             assert router.stats.max_queue_depth <= 2
         finally:
             router.close()
+
+
+class TestIngestRouterLifecycle:
+    """Regression tests for the router's close/failure edges.
+
+    Before the fix, ``submit()`` racing ``close()`` could land a batch on a
+    queue whose worker had already exited — a later ``drain()`` then hung
+    forever on ``Queue.join`` — and ``close()``/``drain()`` after a worker
+    failure raised only on the first call, so callers could miss it.
+    """
+
+    @staticmethod
+    def one_batch(tenant="t0", t0=0.0):
+        return SampleBatch(
+            tenant, np.array([t0, t0 + 0.25]), np.zeros((2, 2))
+        )
+
+    @staticmethod
+    def poison_router():
+        """A router whose single worker has recorded a failure."""
+        router = IngestRouter(n_workers=1, queue_capacity=4)
+        router.register("t0", ["a", "b"])
+        router.submit(
+            SampleBatch("t0", np.array([0.0, 0.25]), np.zeros((2, 2)))
+        )
+        # Time goes backwards within the tenant's stream: the detector's
+        # validation error becomes the router's recorded failure.
+        router.submit(SampleBatch("t0", np.array([0.1]), np.zeros((1, 2))))
+        for q in router._queues:
+            q.join()
+        assert router._failure is not None
+        return router
+
+    def test_submit_after_close_raises(self):
+        router = IngestRouter(n_workers=2)
+        router.register("t0", ["a", "b"])
+        router.close()
+        with pytest.raises(RuntimeError, match="router is closed"):
+            router.submit(self.one_batch())
+
+    def test_register_after_close_raises(self):
+        router = IngestRouter(n_workers=1)
+        router.close()
+        with pytest.raises(RuntimeError, match="router is closed"):
+            router.register("late", ["a"])
+
+    def test_drain_after_close_is_noop(self):
+        router = IngestRouter(n_workers=2)
+        router.register("t0", ["a", "b"])
+        router.submit(self.one_batch())
+        router.close()
+        # Must return immediately (the workers are gone — a q.join that
+        # still expected work would hang), and be repeatable.
+        router.drain()
+        router.drain()
+
+    def test_double_drain_and_double_close_are_idempotent(self):
+        router = IngestRouter(n_workers=1)
+        router.register("t0", ["a", "b"])
+        router.submit(self.one_batch())
+        router.drain()
+        router.drain()
+        router.close()
+        router.close()
+        assert router.stats.batches_processed == 1
+
+    def test_close_after_failure_raises_every_time(self):
+        router = self.poison_router()
+        for _ in range(3):
+            with pytest.raises(RuntimeError, match="ingest worker failed"):
+                router.close()
+
+    def test_drain_after_failed_close_still_raises(self):
+        router = self.poison_router()
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            router.close()
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            router.drain()
+
+    def test_submit_and_register_after_failure_raise(self):
+        router = self.poison_router()
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            router.submit(self.one_batch(t0=10.0))
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            router.register("t1", ["a"])
+        with pytest.raises(RuntimeError, match="ingest worker failed"):
+            router.close()
+
+    def test_submit_racing_close_never_hangs_drain(self):
+        # Hammer the submit/close race: producers submit as fast as they
+        # can while the control thread closes.  Every submit must either
+        # be fully processed or raise "router is closed" — none may land
+        # on a dead queue (which would make drain()/close() hang).
+        for attempt in range(5):
+            router = IngestRouter(n_workers=2, queue_capacity=8)
+            router.register("t0", ["a", "b"])
+            router.register("t1", ["a", "b"])
+            start = threading.Event()
+            outcomes = []
+
+            def producer(tenant, outcomes=outcomes):
+                start.wait()
+                t = 0.0
+                while True:
+                    try:
+                        router.submit(
+                            SampleBatch(
+                                tenant,
+                                np.array([t, t + 0.1]),
+                                np.zeros((2, 2)),
+                            )
+                        )
+                        outcomes.append("ok")
+                    except RuntimeError:
+                        outcomes.append("closed")
+                        return
+                    t += 1.0
+
+            threads = [
+                threading.Thread(target=producer, args=(f"t{i}",))
+                for i in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            start.set()
+            closer = threading.Thread(target=router.close)
+            closer.start()
+            closer.join(timeout=30.0)
+            assert not closer.is_alive(), "close() hung"
+            for thread in threads:
+                thread.join(timeout=30.0)
+                assert not thread.is_alive(), "producer hung"
+            # Every producer eventually observed the close...
+            assert outcomes.count("closed") == 2
+            # ...and every accepted batch was actually processed.
+            assert (
+                router.stats.batches_processed
+                == router.stats.batches_submitted
+                == outcomes.count("ok")
+            )

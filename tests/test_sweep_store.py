@@ -19,6 +19,8 @@ integration of :mod:`repro.analysis.scenarios`:
 
 import json
 import math
+import os
+import threading
 
 import pytest
 
@@ -32,11 +34,13 @@ from repro.analysis.scenarios import (
     SweepReport,
 )
 from repro.analysis.sweep_store import (
+    StoreStats,
     SweepStore,
     component_from_dict,
     component_to_dict,
     content_hash,
     register_component,
+    name_slug,
 )
 from repro.core.config import FadewichConfig
 from repro.ml.metrics import DetectionCounts
@@ -156,7 +160,7 @@ class TestSweepStore:
         assert store.names() == ["a/b/r0"]
         assert len(store) == 1
         assert store.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stale": 0, "writes": 1,
+            "hits": 1, "misses": 1, "stale": 0, "writes": 1, "lookups": 2,
         }
 
     def test_mismatched_key_is_stale_not_served(self, tmp_path):
@@ -211,7 +215,7 @@ class TestSweepStore:
         self._mangle(store, "a", lambda r: r.pop("key"))
         assert store.get("a", self.KEY) is None
         assert store.stats.as_dict() == {
-            "hits": 0, "misses": 0, "stale": 1, "writes": 1,
+            "hits": 0, "misses": 0, "stale": 1, "writes": 1, "lookups": 1,
         }
 
     def test_old_format_version_is_stale(self, tmp_path):
@@ -256,9 +260,9 @@ class TestSweepStore:
         for name in ("good", "mangled", "wrong-key", "corrupt", "absent"):
             store.get(name, self.KEY)
         stats = store.stats
-        assert stats.hits + stats.misses + stats.stale == 5
+        assert stats.hits + stats.misses + stats.stale == 5 == stats.lookups
         assert stats.as_dict() == {
-            "hits": 1, "misses": 2, "stale": 2, "writes": 3,
+            "hits": 1, "misses": 2, "stale": 2, "writes": 3, "lookups": 5,
         }
 
     def test_writes_are_atomic_no_temp_leftovers(self, tmp_path):
@@ -268,6 +272,114 @@ class TestSweepStore:
         leftovers = [p for p in store.path.iterdir() if p.suffix != ".json"]
         assert leftovers == []
         assert store.get("a", self.KEY) == {"v": 4}
+
+
+class TestNameSlug:
+    """``record_path`` filename safety: scenario names are arbitrary strings
+    (layout/scale/channel/config identifiers joined with ``/``), so the
+    on-disk name must be escaped, bounded, collision-free and deterministic.
+    """
+
+    def test_deterministic_and_escaped(self):
+        assert name_slug("a/b c?d") == name_slug("a/b c?d")
+        for hostile in ("../../../etc/passwd", "a/../b", "..", "a\\b", "/x"):
+            slug = name_slug(hostile)
+            assert os.sep not in slug
+            assert not slug.startswith(".")
+
+    def test_traversal_names_stay_inside_the_store(self, tmp_path):
+        store = SweepStore(tmp_path / "store")
+        path = store.put("../../escape", self.key(), {"v": 1})
+        assert path.parent == store.path
+        assert store.get("../../escape", self.key()) == {"v": 1}
+
+    def test_long_names_are_bounded_but_distinct(self, tmp_path):
+        a, b = "x" * 4000, "x" * 4000 + "y"
+        assert len(name_slug(a)) <= 91  # 80-char slug + "-" + 10-hex digest
+        assert name_slug(a) != name_slug(b)
+        store = SweepStore(tmp_path)
+        store.put(a, self.key(), {"v": "a"})
+        store.put(b, self.key(), {"v": "b"})
+        assert store.get(a, self.key()) == {"v": "a"}
+        assert store.get(b, self.key()) == {"v": "b"}
+
+    def test_punctuation_variants_never_collide(self):
+        # All of these sanitise to the same character class; the content
+        # digest keeps them distinct.
+        variants = ["a/b", "a?b", "a b", "a*b", "a:b", "a\nb"]
+        slugs = {name_slug(v) for v in variants}
+        assert len(slugs) == len(variants)
+
+    def test_dot_only_names_get_a_fallback_slug(self):
+        slug = name_slug("...")
+        assert slug.startswith("scenario-")
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TypeError, match="must be a str"):
+            name_slug(123)
+        with pytest.raises(ValueError, match="empty"):
+            name_slug("")
+        with pytest.raises(ValueError, match="NUL"):
+            name_slug("a\x00b")
+
+    def test_lease_files_coexist_and_stay_invisible(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a/b", self.key(), {"v": 1})
+        store.lease_path("a/b").write_text("{}", encoding="utf-8")
+        assert store.names() == ["a/b"]
+        # clear() removes leases too but only counts records.
+        assert store.clear() == 1
+        assert not store.lease_path("a/b").exists()
+
+    @staticmethod
+    def key():
+        return {"root_entropy": 5, "content_hash": "abc", "sim_index": 0}
+
+
+class TestStoreStatsConcurrency:
+    def test_hammered_counters_still_partition(self, tmp_path):
+        # N threads hammer one store with a fixed mix of hit, miss and
+        # stale lookups; the bare-int counters used to drop updates under
+        # this load, breaking hits + misses + stale == lookups.
+        store = SweepStore(tmp_path)
+        key = {"root_entropy": 5, "content_hash": "abc", "sim_index": 0}
+        store.put("warm", key, {"v": 1})
+        n_threads, n_rounds = 8, 200
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(i):
+            barrier.wait()
+            for r in range(n_rounds):
+                store.get("warm", key)                          # hit
+                store.get(f"absent-{i}-{r}", key)               # miss
+                store.get("warm", {**key, "sim_index": 9})      # stale
+                store.stats.count_write()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = store.stats
+        total = n_threads * n_rounds
+        assert stats.lookups == 3 * total
+        assert stats.hits == total
+        assert stats.misses == total
+        assert stats.stale == total
+        assert stats.hits + stats.misses + stats.stale == stats.lookups
+        assert stats.writes == total + 1  # the warm-up put
+
+    def test_reclassify_hit_as_stale_preserves_partition(self):
+        stats = StoreStats()
+        stats.count_hit()
+        stats.count_hit()
+        stats.reclassify_hit_as_stale()
+        assert stats.as_dict() == {
+            "hits": 1, "misses": 0, "stale": 1, "writes": 0, "lookups": 2,
+        }
 
 
 class TestReportRoundTrip:
