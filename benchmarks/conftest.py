@@ -104,6 +104,14 @@ def pytest_addoption(parser):
         "loaded runners",
     )
     parser.addoption(
+        "--run-stress",
+        action="store_true",
+        default=False,
+        help="run the @pytest.mark.stress benchmarks (e.g. the ~1000-point "
+        "multi-detector prioritized sweep), which are far too heavy for "
+        "the CI smoke steps",
+    )
+    parser.addoption(
         "--bench-json",
         action="store",
         default="BENCH_results.json",
@@ -112,6 +120,22 @@ def pytest_addoption(parser):
         "benchmark invocations accumulate into one report); pass an empty "
         "string to disable",
     )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "stress: heavy load-test benchmarks, skipped unless --run-stress",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-stress"):
+        return
+    skip = pytest.mark.skip(reason="stress benchmark; pass --run-stress")
+    for item in items:
+        if "stress" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

@@ -30,6 +30,14 @@ True
 
 from .core.config import FadewichConfig, MDConfig, REConfig
 from .core.system import FadewichSystem
+from .detectors import (
+    EmaMadDetector,
+    KdeMdDetector,
+    VarianceThresholdDetector,
+    detector_names,
+    get_detector,
+    register_detector,
+)
 from .radio.office import OfficeLayout, paper_office, wide_office
 from .analysis.sweep_queue import SweepWorker, run_prioritized
 from .simulation.collector import CampaignCollector, CampaignRecording
@@ -83,24 +91,41 @@ from .streaming import IngestRouter, OnlineDetector
 # thread-safe (hits+misses+stale == lookups under concurrency);
 # IngestRouter lifecycle edges (submit-after-close race, drain/close
 # after failure) made deterministic.
-__version__ = "2.6.0"
+# 2.7.0: pluggable detector zoo — repro.detectors (registry of frozen
+# config dataclasses, each pairing an offline reference grid with a
+# streaming engine proven bitwise-identical under arbitrary batch
+# splits): KdeMdDetector (pure port of the KDE profile engines — golden
+# numbers unchanged), EmaMadDetector (EMA + median/MAD hysteresis),
+# VarianceThresholdDetector (rolling-variance baseline); *detector* is a
+# first-class ScenarioGrid axis sharing one recording (and one feature
+# matrix) across variants, part of ScenarioSpec.content_hash and the
+# sweep-store fingerprint, grouped in SweepReport cell statistics plus a
+# detector_comparison table, and hosted per-tenant by OnlineDetector /
+# IngestRouter.
+__version__ = "2.7.0"
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
     "CampaignRunner",
     "DayTask",
+    "EmaMadDetector",
     "FadewichConfig",
     "FadewichSystem",
     "IngestRouter",
+    "KdeMdDetector",
     "MDConfig",
     "OfficeLayout",
     "OnlineDetector",
     "REConfig",
     "SweepWorker",
+    "VarianceThresholdDetector",
     "__version__",
+    "detector_names",
+    "get_detector",
     "paper_office",
     "quick_campaign",
+    "register_detector",
     "run_prioritized",
     "wide_office",
 ]

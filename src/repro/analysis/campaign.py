@@ -160,6 +160,14 @@ class AnalysisContext:
         The FADEWICH configuration (the paper's defaults when omitted).
     seed:
         Seed of the cross-validation shuffles.
+    detector:
+        Optional detector-zoo member (``repro.detectors``) evaluated in
+        place of the paper's KDE profile engine; ``None`` keeps the KDE
+        path bit-identical to before the zoo existed.
+    features:
+        Optional pre-built :class:`CampaignStdFeatures` for this recording
+        and config — sweeps share one across the detector axis so the
+        rolling feature matrices are computed once per recording.
     """
 
     def __init__(
@@ -167,20 +175,35 @@ class AnalysisContext:
         recording: CampaignRecording,
         config: Optional[FadewichConfig] = None,
         seed: int = 0,
+        *,
+        detector: Optional[object] = None,
+        features: Optional[CampaignStdFeatures] = None,
     ) -> None:
         self.recording = recording
         self.config = config if config is not None else FadewichConfig()
         self.layout = recording.layout
+        self.detector = detector
         self._seed = seed
-        # Every cache is keyed on (sensor subset, config): ``config`` is a
-        # public attribute, and a bare ``n_sensors`` key would keep serving
-        # results computed under a previous configuration (regression test
-        # in tests/test_analysis_equivalence.py).
+        # Every cache is keyed on (sensor subset, config, detector):
+        # ``config`` and ``detector`` are public attributes, and a bare
+        # ``n_sensors`` key would keep serving results computed under a
+        # previous configuration (regression test in
+        # tests/test_analysis_equivalence.py).
         self._md_cache: Dict[Tuple, MDEvaluation] = {}
         self._dataset_cache: Dict[Tuple, Tuple[RadioEnvironment, SampleDataset]] = {}
         self._prediction_cache: Dict[Tuple, Dict[int, str]] = {}
         self._outcome_cache: Dict[Tuple, List[DeauthOutcome]] = {}
         self._features_cache: Dict[FadewichConfig, CampaignStdFeatures] = {}
+        if features is not None:
+            if features.recording is not recording:
+                raise ValueError(
+                    "shared features were built for a different recording"
+                )
+            if features.config != self.config:
+                raise ValueError(
+                    "shared features were built for a different config"
+                )
+            self._features_cache[self.config] = features
 
     # ------------------------------------------------------------------ #
     @property
@@ -196,7 +219,7 @@ class AnalysisContext:
         return sensor_subset(self.all_sensor_ids, n_sensors)
 
     def _key(self, n_sensors: int) -> Tuple:
-        return (tuple(self.sensor_ids(n_sensors)), self.config)
+        return (tuple(self.sensor_ids(n_sensors)), self.config, self.detector)
 
     def _features(self) -> CampaignStdFeatures:
         """The shared rolling feature matrix of the current config, cached."""
@@ -223,7 +246,11 @@ class AnalysisContext:
         )
         if missing:
             computed = evaluate_md_grid(
-                self.recording, self.config, missing, features=self._features()
+                self.recording,
+                self.config,
+                missing,
+                features=self._features(),
+                detector=self.detector,
             )
             for n, evaluation in computed.items():
                 self._md_cache[self._key(n)] = evaluation

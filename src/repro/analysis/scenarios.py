@@ -70,6 +70,8 @@ from typing import (
 import numpy as np
 
 from ..core.config import FadewichConfig
+from ..core.evaluation import CampaignStdFeatures
+from ..detectors import KdeMdDetector, get_detector
 from ..radio.channel import ChannelConfig
 from ..radio.office import OfficeLayout
 from ..simulation.collector import (
@@ -104,8 +106,9 @@ class ScenarioSpec:
 
     ``index`` is the scenario's position in the grid's deterministic
     enumeration order (layouts, then scales, then channels, then configs,
-    then replicates) and keys its derived seed; ``name`` is the
-    human-readable ``layout/scale/channel/config/rN`` path used in reports.
+    then detectors, then replicates) and keys its derived seed; ``name``
+    is the human-readable ``layout/scale/channel/config/detector/rN`` path
+    used in reports.
     """
 
     index: int
@@ -117,13 +120,16 @@ class ScenarioSpec:
     config_name: str
     config: FadewichConfig
     replicate: int
+    detector_name: str = "kde_md"
+    detector: object = KdeMdDetector()
 
     def simulation_key(self) -> Tuple[str, str, str, int]:
         """The identity of this scenario's *simulated* campaign.
 
-        The FADEWICH config only affects analysis, not simulation, so
-        scenarios differing solely in ``config`` share one recording (and
-        one derived seed): config effects are measured on identical data.
+        The FADEWICH config and the detector only affect analysis, not
+        simulation, so scenarios differing solely in ``config`` and/or
+        ``detector`` share one recording (and one derived seed): their
+        effects are measured on identical data.
         """
         return (self.layout.name, self.scale.name, self.channel_name, self.replicate)
 
@@ -136,6 +142,7 @@ class ScenarioSpec:
             "scale": self.scale.name,
             "channel": self.channel_name,
             "config": self.config_name,
+            "detector": self.detector_name,
             "replicate": self.replicate,
             "n_days": self.scale.n_days,
             "day_duration_s": self.scale.day_duration_s,
@@ -146,13 +153,14 @@ class ScenarioSpec:
     def content_hash(self) -> str:
         """Hash of everything that defines this scenario's behaviour.
 
-        Covers the layout, behaviour scale, channel configuration and
-        FADEWICH configuration *content* (not just their names), so a store
-        record computed under a renamed-but-equal configuration still
-        matches while an edited-in-place configuration never does.
+        Covers the layout, behaviour scale, channel configuration,
+        FADEWICH configuration and detector *content* (not just their
+        names), so a store record computed under a renamed-but-equal
+        configuration still matches while an edited-in-place configuration
+        — or a swapped/retuned detector — never does.
         """
         return content_hash(
-            self.layout, self.scale, self.channel_config, self.config
+            self.layout, self.scale, self.channel_config, self.config, self.detector
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -162,15 +170,20 @@ class ScenarioSpec:
             "name": self.name,
             "channel_name": self.channel_name,
             "config_name": self.config_name,
+            "detector_name": self.detector_name,
             "replicate": self.replicate,
             "layout": component_to_dict(self.layout),
             "scale": component_to_dict(self.scale),
             "channel_config": component_to_dict(self.channel_config),
             "config": component_to_dict(self.config),
+            "detector": component_to_dict(self.detector),
         }
 
     @staticmethod
     def from_dict(data: Mapping) -> "ScenarioSpec":
+        # ``detector`` fields default for payloads written before the
+        # detector axis existed (such records are version-invalidated at
+        # the store layer anyway, but reports round-trip regardless).
         return ScenarioSpec(
             index=int(data["index"]),
             name=str(data["name"]),
@@ -181,6 +194,12 @@ class ScenarioSpec:
             config_name=str(data["config_name"]),
             config=component_from_dict(data["config"]),
             replicate=int(data["replicate"]),
+            detector_name=str(data.get("detector_name", "kde_md")),
+            detector=(
+                component_from_dict(data["detector"])
+                if "detector" in data
+                else KdeMdDetector()
+            ),
         )
 
 
@@ -201,6 +220,15 @@ class ScenarioGrid:
     configs:
         Named FADEWICH configurations (``{"default": FadewichConfig()}``
         when omitted); build variants with :meth:`FadewichConfig.derive`.
+    detectors:
+        The detector axis: registered names (``["kde_md", "ema_mad"]``),
+        detector instances, or a ``{label: detector}`` mapping for tuned
+        config variants.  Defaults to the paper's KDE-MD detector alone.
+        Like config-only variants, detector variants of one scenario
+        share a single recording, so members are compared head-to-head on
+        identical data.  Unknown names, duplicate labels and duplicate
+        detector configs under different labels are rejected at
+        construction.
     n_replicates:
         Independent repetitions of every combination; each replicate is its
         own grid point with its own derived seed.
@@ -220,6 +248,7 @@ class ScenarioGrid:
         channel_configs: Optional[Mapping[str, ChannelConfig]] = None,
         configs: Optional[Mapping[str, FadewichConfig]] = None,
         *,
+        detectors: Union[Mapping[str, object], Sequence[object], None] = None,
         n_replicates: int = 1,
         sensor_counts: Optional[Sequence[int]] = None,
     ) -> None:
@@ -233,6 +262,7 @@ class ScenarioGrid:
         self.configs = dict(
             configs if configs is not None else {"default": FadewichConfig()}
         )
+        self.detectors = self._normalise_detectors(detectors)
         if not self.layouts:
             raise ValueError("grid needs at least one layout")
         if not self.scales:
@@ -262,6 +292,54 @@ class ScenarioGrid:
                 )
             self.sensor_counts = tuple(counts)
 
+    @staticmethod
+    def _normalise_detectors(
+        detectors: Union[Mapping[str, object], Sequence[object], None],
+    ) -> Dict[str, object]:
+        """Resolve the detector axis to a validated ``{label: instance}``.
+
+        Sequence entries resolve through
+        :func:`repro.detectors.get_detector` (unknown names raise with the
+        registered list) and label themselves by registry name; a mapping
+        supplies explicit labels for tuned variants.  Duplicate labels and
+        duplicate detector configs are construction errors — either would
+        silently double grid points that analyse identically.
+        """
+        if detectors is None:
+            return {"kde_md": KdeMdDetector()}
+        if isinstance(detectors, Mapping):
+            items = [
+                (str(label), get_detector(entry))
+                for label, entry in detectors.items()
+            ]
+        else:
+            items = []
+            for entry in detectors:
+                instance = get_detector(entry)
+                items.append((type(instance).name, instance))
+        if not items:
+            raise ValueError("grid needs at least one detector")
+        labels = [label for label, _ in items]
+        duplicate_labels = sorted(
+            label for label, count in Counter(labels).items() if count > 1
+        )
+        if duplicate_labels:
+            raise ValueError(
+                f"detector labels must be unique, got duplicates "
+                f"{duplicate_labels}; pass a {{label: detector}} mapping to "
+                "sweep config variants of one detector under distinct labels"
+            )
+        seen: Dict[object, str] = {}
+        for label, instance in items:
+            if instance in seen:
+                raise ValueError(
+                    f"detector variants {seen[instance]!r} and {label!r} have "
+                    "identical configs — duplicate variants would double "
+                    "identical grid points"
+                )
+            seen[instance] = label
+        return dict(items)
+
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
         return (
@@ -269,6 +347,7 @@ class ScenarioGrid:
             * len(self.scales)
             * len(self.channel_configs)
             * len(self.configs)
+            * len(self.detectors)
             * self.n_replicates
         )
 
@@ -283,25 +362,28 @@ class ScenarioGrid:
             for scale in self.scales:
                 for channel_name, channel_config in self.channel_configs.items():
                     for config_name, config in self.configs.items():
-                        for replicate in range(self.n_replicates):
-                            specs.append(
-                                ScenarioSpec(
-                                    index=index,
-                                    name=(
-                                        f"{layout.name}/{scale.name}/"
-                                        f"{channel_name}/{config_name}/"
-                                        f"r{replicate}"
-                                    ),
-                                    layout=layout,
-                                    scale=scale,
-                                    channel_name=channel_name,
-                                    channel_config=channel_config,
-                                    config_name=config_name,
-                                    config=config,
-                                    replicate=replicate,
+                        for det_name, detector in self.detectors.items():
+                            for replicate in range(self.n_replicates):
+                                specs.append(
+                                    ScenarioSpec(
+                                        index=index,
+                                        name=(
+                                            f"{layout.name}/{scale.name}/"
+                                            f"{channel_name}/{config_name}/"
+                                            f"{det_name}/r{replicate}"
+                                        ),
+                                        layout=layout,
+                                        scale=scale,
+                                        channel_name=channel_name,
+                                        channel_config=channel_config,
+                                        config_name=config_name,
+                                        config=config,
+                                        replicate=replicate,
+                                        detector_name=det_name,
+                                        detector=detector,
+                                    )
                                 )
-                            )
-                            index += 1
+                                index += 1
         return specs
 
     def sensor_counts_for(self, layout: OfficeLayout) -> List[int]:
@@ -483,19 +565,19 @@ class SweepReport:
     def cell_statistics(self) -> List[Dict[str, object]]:
         """Per-cell replicate statistics of the grid.
 
-        Groups results by the cell ``(layout, scale, channel, config)``
-        with the replicate axis marginalised, and reports — per cell and
-        sensor count — the across-replicate mean, sample standard deviation
-        and normal-approximation 95% confidence half-width
-        (``1.96 * std / sqrt(r)``) of the MD F-measure, the MD recall and
-        the RE accuracy.
+        Groups results by the cell ``(layout, scale, channel, config,
+        detector)`` with the replicate axis marginalised, and reports —
+        per cell and sensor count — the across-replicate mean, sample
+        standard deviation and normal-approximation 95% confidence
+        half-width (``1.96 * std / sqrt(r)``) of the MD F-measure, the MD
+        recall and the RE accuracy.
 
         NaN-safety: a single-replicate cell has no spread estimate, so its
         ``*_std`` and ``*_ci95`` are NaN (*not* 0 — zero would claim
         certainty the data cannot support); a sensor count no replicate
         evaluated RE at has NaN RE statistics.
         """
-        cells: Dict[Tuple[str, str, str, str], List[ScenarioResult]] = {}
+        cells: Dict[Tuple[str, str, str, str, str], List[ScenarioResult]] = {}
         for result in self.results:
             spec = result.spec
             key = (
@@ -503,10 +585,11 @@ class SweepReport:
                 spec.scale.name,
                 spec.channel_name,
                 spec.config_name,
+                spec.detector_name,
             )
             cells.setdefault(key, []).append(result)
         rows: List[Dict[str, object]] = []
-        for (layout, scale, channel, config), results in cells.items():
+        for (layout, scale, channel, config, detector), results in cells.items():
             f_values: Dict[int, List[float]] = {}
             recall_values: Dict[int, List[float]] = {}
             re_values: Dict[int, List[float]] = {}
@@ -526,6 +609,7 @@ class SweepReport:
                     "scale": scale,
                     "channel": channel,
                     "config": config,
+                    "detector": detector,
                     "n_sensors": n,
                     "n_replicates": len(f_values.get(n, re_values.get(n, []))),
                 }
@@ -539,6 +623,53 @@ class SweepReport:
                     entry[f"{prefix}_std"] = std
                     entry[f"{prefix}_ci95"] = ci95
                 rows.append(entry)
+        return rows
+
+    def detector_names(self) -> List[str]:
+        """Sorted distinct detector labels appearing in the results."""
+        return sorted({result.spec.detector_name for result in self.results})
+
+    def detector_comparison(self) -> List[Dict[str, object]]:
+        """Which detector wins, per cell and sensor count.
+
+        Marginalises replicates and groups by ``(layout, scale, channel,
+        config, n_sensors)``; each row reports the mean MD F-measure per
+        detector label (``f_mean_by_detector``) and the winning label
+        (``best_detector``).  The grid may be ragged — a detector absent
+        from a cell is simply absent from that row's mapping, never a
+        fabricated number.
+        """
+        cells: Dict[Tuple[str, str, str, str, int], Dict[str, List[float]]] = {}
+        for result in self.results:
+            spec = result.spec
+            for row in result.md_rows:
+                key = (
+                    spec.layout.name,
+                    spec.scale.name,
+                    spec.channel_name,
+                    spec.config_name,
+                    row.n_sensors,
+                )
+                cells.setdefault(key, {}).setdefault(
+                    spec.detector_name, []
+                ).append(row.counts.f_measure)
+        rows: List[Dict[str, object]] = []
+        for (layout, scale, channel, config, n), by_detector in cells.items():
+            f_means = {
+                detector: float(np.mean(values))
+                for detector, values in by_detector.items()
+            }
+            rows.append(
+                {
+                    "layout": layout,
+                    "scale": scale,
+                    "channel": channel,
+                    "config": config,
+                    "n_sensors": n,
+                    "f_mean_by_detector": f_means,
+                    "best_detector": max(f_means, key=f_means.__getitem__),
+                }
+            )
         return rows
 
     def to_dict(self) -> Dict[str, object]:
@@ -558,6 +689,20 @@ class SweepReport:
             "cell_statistics": [
                 {key: _json_value(value) for key, value in row.items()}
                 for row in self.cell_statistics()
+            ],
+            "detector_comparison": [
+                {
+                    **{
+                        key: _json_value(value)
+                        for key, value in row.items()
+                        if key != "f_mean_by_detector"
+                    },
+                    "f_mean_by_detector": {
+                        detector: _json_value(value)
+                        for detector, value in row["f_mean_by_detector"].items()
+                    },
+                }
+                for row in self.detector_comparison()
             ],
         }
 
@@ -640,7 +785,10 @@ class SweepReport:
         cells = self.cell_statistics()
         if cells:
             width = max(
-                len(f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}")
+                len(
+                    f"{c['layout']}/{c['scale']}/{c['channel']}/"
+                    f"{c['config']}/{c['detector']}"
+                )
                 for c in cells
             )
             lines.append("")
@@ -653,7 +801,10 @@ class SweepReport:
                 f"{'F':>13} | {'recall':>13} | {'RE acc':>13}"
             )
             for c in cells:
-                cell = f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}"
+                cell = (
+                    f"{c['layout']}/{c['scale']}/{c['channel']}/"
+                    f"{c['config']}/{c['detector']}"
+                )
                 lines.append(
                     f"{cell:>{width}} | {c['n_sensors']:>7} | "
                     f"{c['n_replicates']:>4} | "
@@ -661,6 +812,39 @@ class SweepReport:
                     f"{_pm(c['recall_mean'], c['recall_ci95']):>13} | "
                     f"{_pm(c['re_mean'], c['re_ci95']):>13}"
                 )
+        detectors = self.detector_names()
+        if len(detectors) > 1:
+            comparison = self.detector_comparison()
+            width = max(
+                len(f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}")
+                for c in comparison
+            )
+            col = max(8, *(len(d) for d in detectors))
+            lines.append("")
+            lines.append(
+                "detector comparison (mean MD F-measure; "
+                "'-' = not evaluated in that cell)"
+            )
+            header = f"{'cell':>{width}} | {'sensors':>7}"
+            for detector in detectors:
+                header += f" | {detector:>{col}}"
+            header += " | best"
+            lines.append(header)
+            for c in comparison:
+                cell = f"{c['layout']}/{c['scale']}/{c['channel']}/{c['config']}"
+                line = f"{cell:>{width}} | {c['n_sensors']:>7}"
+                # The grid may be ragged across detectors (a detector
+                # missing from a cell, e.g. explicit spec lists or
+                # layout-dependent sensor counts): blank the cell instead
+                # of crashing or misaligning the table.
+                f_means = c["f_mean_by_detector"]
+                for detector in detectors:
+                    if detector in f_means:
+                        line += f" | {f_means[detector]:>{col}.3f}"
+                    else:
+                        line += f" | {'-':>{col}}"
+                line += f" | {c['best_detector']}"
+                lines.append(line)
         return "\n".join(lines)
 
 
@@ -898,10 +1082,26 @@ class ScenarioSweepRunner:
         ]
 
     def analyze(
-        self, spec: ScenarioSpec, recording: CampaignRecording
+        self,
+        spec: ScenarioSpec,
+        recording: CampaignRecording,
+        features: Optional[CampaignStdFeatures] = None,
     ) -> ScenarioResult:
-        """Run the batch MD / RE analysis of one scenario recording."""
-        context = AnalysisContext(recording, spec.config, seed=self._analysis_seed)
+        """Run the batch MD / RE analysis of one scenario recording.
+
+        ``features`` optionally shares a pre-built rolling feature matrix
+        across calls — :meth:`run` passes one per ``(recording, config)``
+        so the detector axis amortises the feature computation (the
+        columnar std matrices dominate a sweep's analysis cost; detectors
+        only differ downstream of them).
+        """
+        context = AnalysisContext(
+            recording,
+            spec.config,
+            seed=self._analysis_seed,
+            detector=spec.detector,
+            features=features,
+        )
         counts = self._sensor_counts_for(spec)
         evaluations = context.md_evaluations(counts)
         md_rows = [
@@ -929,9 +1129,12 @@ class ScenarioSweepRunner:
         the scenario's position in the simulation-seed enumeration
         (``sim_index`` — grid reshapes that reassign seeds invalidate
         records even when names survive), the analysis seed, the evaluated
-        sensor counts, the RE stage selection, and the content hash of the
-        layout / scale / channel / FADEWICH configuration.  Any mismatch
-        reads as a store miss, never as silent reuse.
+        sensor counts, the RE stage selection, the detector label and the
+        content hash of the layout / scale / channel / FADEWICH / detector
+        configuration.  Any mismatch reads as a store miss, never as
+        silent reuse — in particular, a grid re-run with a different
+        detector (or a retuned one under the same label) recomputes
+        instead of resuming, while each detector's own records stay warm.
 
         The library version is part of the key too: this repo consciously
         re-pins analysis semantics across releases, so a record computed by
@@ -946,6 +1149,7 @@ class ScenarioSweepRunner:
             "root_spawn_key": list(self._root.spawn_key),
             "sim_index": self._sim_indices[spec.simulation_key()],
             "analysis_seed": self._analysis_seed,
+            "detector": spec.detector_name,
             "sensor_counts": self._sensor_counts_for(spec),
             "re_sensor_counts": (
                 list(self._re_sensor_counts)
@@ -1058,10 +1262,20 @@ class ScenarioSweepRunner:
         self._last_collect_task_count = 0
         pairs = self.collect(needed=collect_keys) if collect_keys else []
         n_analyzed = 0
+        # Detector/config variants of one simulation share the recording;
+        # share the rolling feature matrices too (keyed per recording and
+        # FADEWICH config — detectors consume the same std sums), so the
+        # detector axis only pays for the decision engines.
+        features_cache: Dict[Tuple[int, FadewichConfig], CampaignStdFeatures] = {}
         for spec, recording in pairs:
             if spec.name in results:
                 continue  # cached config-variant sharing a missing simulation
-            result = self.analyze(spec, recording)
+            features_key = (id(recording), spec.config)
+            features = features_cache.get(features_key)
+            if features is None:
+                features = CampaignStdFeatures(recording, spec.config)
+                features_cache[features_key] = features
+            result = self.analyze(spec, recording, features=features)
             if store is not None:
                 store.put(spec.name, store_keys[spec.name], result.to_dict())
             results[spec.name] = result

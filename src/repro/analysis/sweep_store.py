@@ -43,6 +43,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Type
 
 from ..core.config import FadewichConfig, MDConfig, REConfig
+from ..detectors import EmaMadDetector, KdeMdDetector, VarianceThresholdDetector
 from ..radio.channel import ChannelConfig
 from ..radio.fading import QuiescentNoise, SkewLaplace
 from ..radio.geometry import Point
@@ -92,6 +93,9 @@ _COMPONENT_TYPES: Dict[str, Type] = {
         Sensor,
         Workstation,
         Point,
+        KdeMdDetector,
+        EmaMadDetector,
+        VarianceThresholdDetector,
     )
 }
 

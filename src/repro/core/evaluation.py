@@ -224,12 +224,14 @@ def _evaluate_md_sets(
     config: FadewichConfig,
     subsets: Sequence[Tuple[int, List[str]]],
     features: Optional[CampaignStdFeatures] = None,
+    detector: Optional[object] = None,
 ) -> Dict[int, MDEvaluation]:
     """Columnar MD evaluation of several sensor subsets at once.
 
     All subsets of all days advance through the batch profile engine in
     lockstep: one pooled ``(n_obs, n_days * n_subsets)`` std-sum matrix per
-    group of equally-shaped days.
+    group of equally-shaped days.  ``detector`` swaps the profile engine
+    for any zoo member's ``offline_grid`` (``None`` keeps the KDE path).
     """
     if not subsets:
         return {}
@@ -263,7 +265,10 @@ def _evaluate_md_sets(
     grids: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(day_inputs)
     for (_, init_samples), indices in groups.items():
         pooled = np.hstack([day_inputs[i][2] for i in indices])
-        result = run_profile_grid(pooled, config.md, init_samples)
+        if detector is None:
+            result = run_profile_grid(pooled, config.md, init_samples)
+        else:
+            result = detector.offline_grid(pooled, config.md, init_samples)
         for position, i in enumerate(indices):
             block = slice(position * n_subsets, (position + 1) * n_subsets)
             grids[i] = (result.decisions[:, block], result.thresholds[:, block])
@@ -305,6 +310,7 @@ def evaluate_md(
     sensor_ids: Sequence[str],
     *,
     features: Optional[CampaignStdFeatures] = None,
+    detector: Optional[object] = None,
 ) -> MDEvaluation:
     """Run offline MD over every recorded day for one sensor subset.
 
@@ -315,7 +321,7 @@ def evaluate_md(
     all counts' profile chains in lockstep.
     """
     return _evaluate_md_sets(
-        recording, config, [(0, list(sensor_ids))], features
+        recording, config, [(0, list(sensor_ids))], features, detector
     )[0]
 
 
@@ -325,6 +331,7 @@ def evaluate_md_grid(
     sensor_counts: Optional[Sequence[int]] = None,
     *,
     features: Optional[CampaignStdFeatures] = None,
+    detector: Optional[object] = None,
 ) -> Dict[int, MDEvaluation]:
     """Batch MD evaluation over a sweep of sensor counts.
 
@@ -343,7 +350,7 @@ def evaluate_md_grid(
     # days (and hence its counts) twice to one evaluation.
     counts = list(dict.fromkeys(int(n) for n in sensor_counts))
     subsets = [(n, sensor_subset(all_ids, n)) for n in counts]
-    return _evaluate_md_sets(recording, config, subsets, features)
+    return _evaluate_md_sets(recording, config, subsets, features, detector)
 
 
 def evaluate_md_scalar(

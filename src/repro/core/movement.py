@@ -606,6 +606,7 @@ def detect_offline(
     config: Optional[MDConfig] = None,
     *,
     precomputed: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    detector: Optional[object] = None,
 ) -> OfflineMDResult:
     """Run Algorithm 1 over a recorded trace (columnar fast path).
 
@@ -622,10 +623,17 @@ def detect_offline(
         Optionally, a ``(times, std_sums)`` pair already computed with
         :func:`rolling_std_sum` — the per-sensor-count sweeps reuse it to
         avoid recomputing the rolling statistics.
+    detector:
+        A detector-zoo member (``repro.detectors``) whose ``offline_grid``
+        replaces the KDE profile engine; ``None`` keeps the paper's
+        detector, bit-identical to the scalar reference.
     """
     cfg = config if config is not None else MDConfig()
     times, std_sums, init_samples = _offline_series(trace, cfg, precomputed)
-    grid = run_profile_grid(std_sums[:, np.newaxis], cfg, init_samples)
+    if detector is None:
+        grid = run_profile_grid(std_sums[:, np.newaxis], cfg, init_samples)
+    else:
+        grid = detector.offline_grid(std_sums[:, np.newaxis], cfg, init_samples)
     return OfflineMDResult(
         times=times,
         std_sums=std_sums,

@@ -1,0 +1,160 @@
+"""Detector interface, result grid and registry.
+
+A *detector* is the pluggable kernel that turns a rolling-std-sum series
+``s_t`` into movement decisions.  The paper's KDE normal-profile
+Mahalanobis detector is one point in a family of RSSI-variation motion
+detectors; this module gives the family one seam so sweeps, the columnar
+evaluation engines and the streaming service can host any member without
+knowing which one they are running.
+
+The contract
+------------
+
+Every detector is a **frozen config dataclass** with a class-level
+``name`` and a pair of engines:
+
+``offline_grid(std_sums, config, init_samples) -> DetectionGrid``
+    The batch reference.  ``std_sums`` is an ``(n, n_cols)`` float matrix
+    of per-instant std sums (one column per sensor subset, evaluated in
+    lockstep — the shape :func:`repro.core.movement.run_profile_grid`
+    consumes); ``config`` is the scenario's
+    :class:`~repro.core.config.MDConfig`; ``init_samples`` is the number
+    of leading observations that form the initialisation window.  The
+    result carries per-column ``decisions`` (int8: ``-1`` while
+    initialising, ``0``/``1`` after) and ``thresholds`` (NaN while
+    undefined), with the threshold first materialising at row
+    ``init_samples - 1`` — the same convention as the KDE profile grid.
+
+``streaming_engine(config, init_samples) -> engine``
+    A fresh incremental engine whose ``extend(values) ->
+    (decisions, thresholds)`` consumes one scalar series in arbitrary
+    batch splits.  The concatenated outputs must be **bitwise identical**
+    to column 0 of ``offline_grid`` over the same values — the same
+    equivalence contract ``OnlineStdSum``/``OnlineProfile`` established —
+    and the tier-1 suite enforces it for every registered detector under
+    hypothesis-generated random splits (partial-window head included).
+
+Detector identity (``name`` plus config fields) participates in scenario
+naming, ``ScenarioSpec.content_hash`` and the sweep-store staleness
+fingerprint, so a grid re-run with a different detector never reuses
+stale records.  Register custom detectors with :func:`register_detector`
+(and with :func:`repro.analysis.sweep_store.register_component` if their
+specs must round-trip through stored sweep records).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Type
+
+import numpy as np
+
+__all__ = [
+    "DetectionGrid",
+    "register_detector",
+    "detector_names",
+    "get_detector",
+]
+
+
+@dataclass(frozen=True)
+class DetectionGrid:
+    """Per-column detector output over an ``(n, n_cols)`` std-sum matrix.
+
+    ``decisions`` is int8 with ``-1`` while the detector initialises and
+    ``0``/``1`` (no movement / movement) afterwards; ``thresholds`` holds
+    the effective threshold trace, NaN wherever it is not yet defined.
+    Matches the :class:`~repro.core.movement.ProfileGridResult` layout so
+    existing consumers need no translation.
+    """
+
+    decisions: np.ndarray
+    thresholds: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.decisions.shape != self.thresholds.shape:
+            raise ValueError(
+                "decisions and thresholds must share a shape, got "
+                f"{self.decisions.shape} vs {self.thresholds.shape}"
+            )
+
+
+_ENGINE_METHODS = ("offline_grid", "streaming_engine")
+
+_DETECTORS: Dict[str, Type] = {}
+
+
+def register_detector(cls: Type) -> Type:
+    """Class decorator adding a detector to the registry.
+
+    The class must be a dataclass (its fields are the detector's
+    configuration), expose a non-empty class-level ``name`` string and
+    implement both engine methods.  Names are unique: re-registering the
+    same class is a no-op, registering a different class under a taken
+    name is an error.
+    """
+    if not (isinstance(cls, type) and dataclasses.is_dataclass(cls)):
+        raise TypeError(
+            f"detector must be a dataclass type, got {cls!r}"
+        )
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise TypeError(
+            f"detector {cls.__name__} needs a non-empty class-level 'name' string"
+        )
+    for method in _ENGINE_METHODS:
+        if not callable(getattr(cls, method, None)):
+            raise TypeError(
+                f"detector {cls.__name__} must implement {method}()"
+            )
+    existing = _DETECTORS.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"detector name {name!r} is already registered by {existing.__name__}"
+        )
+    _DETECTORS[name] = cls
+    return cls
+
+
+def detector_names() -> List[str]:
+    """Sorted names of every registered detector."""
+    return sorted(_DETECTORS)
+
+
+def _is_detector_instance(obj: object) -> bool:
+    return (
+        not isinstance(obj, type)
+        and dataclasses.is_dataclass(obj)
+        and all(callable(getattr(obj, m, None)) for m in _ENGINE_METHODS)
+    )
+
+
+def get_detector(spec: object):
+    """Resolve ``spec`` to a detector instance.
+
+    Accepts a registered name (instantiated with default config), a
+    registered class, or a ready detector instance (passed through, which
+    is how config variants enter a grid).
+    """
+    if isinstance(spec, str):
+        cls = _DETECTORS.get(spec)
+        if cls is None:
+            raise ValueError(
+                f"unknown detector {spec!r}; registered detectors: "
+                f"{detector_names()}"
+            )
+        return cls()
+    if isinstance(spec, type):
+        if spec in _DETECTORS.values():
+            return spec()
+        raise TypeError(
+            f"{spec.__name__} is not a registered detector class; "
+            "decorate it with @register_detector"
+        )
+    if _is_detector_instance(spec):
+        return spec
+    raise TypeError(
+        "detector must be a registered name, a registered class or a "
+        f"detector instance, got {spec!r}"
+    )

@@ -1,0 +1,362 @@
+"""EMA + median/MAD hysteresis detector (SNIPPETS.md Snippet 3 lineage).
+
+The std-sum series is first smoothed with an exponential moving average;
+movement evidence is then two-fold: the short-window standard deviation
+of the smoothed series (energy), and the robust deviation of the current
+smoothed value from a long-window median in MAD units (level shift).
+Either one firing trips the detector, and hysteresis holds it active
+until the short-window energy drops below ``down_ratio`` of the
+threshold — the exact activate/deactivate shape of the exemplar
+``MotionDetector``.
+
+Unlike the exemplar's absolute ``threshold=8.0``, the energy threshold
+here is *calibrated*: std-sum magnitudes vary with sensor count and
+channel config, so the effective threshold is ``threshold_scale`` times
+the median short-window std observed over the initialisation window
+(``init_samples``, the same quiet-office assumption the KDE profile
+makes).  Decisions are ``-1`` during initialisation and the threshold
+trace first materialises at ``init_samples - 1``, mirroring the KDE
+grid's convention.
+
+Two engines, one contract: :meth:`EmaMadDetector.offline_grid` is the
+full-array reference (``sliding_window_view`` stds/medians over whole
+columns), :meth:`EmaMadDetector.streaming_engine` the bounded-state
+incremental engine (a carry tail of the last ``long_window - 1`` smoothed
+values, kept in arrival order — the ``OnlineStdSum`` pattern).  Both
+apply the same numpy reductions to the same value sequences, so their
+outputs are bitwise identical under any batch split; the tier-1
+registry-parametrized hypothesis suite enforces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .base import DetectionGrid, register_detector
+
+__all__ = ["EmaMadDetector"]
+
+# Floor for calibrated thresholds: a perfectly quiet init window (all-zero
+# stds) must not produce a zero threshold that the hysteresis exit
+# (``std < eff * down_ratio``) could never satisfy.
+_EFF_FLOOR = 1e-9
+
+# Robust-sigma conversion and degeneracy guards, verbatim from the
+# exemplar: MAD below 1e-9 means the long window is flat and the robust
+# deviation is undefined — treat as no level-shift evidence.
+_MAD_SIGMA = 1.4826
+_MAD_TINY = 1e-9
+
+
+def _ema_series(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Per-step python-float EMA recursion (both engines share it)."""
+    out = np.empty(values.size)
+    e: Optional[float] = None
+    for i, v in enumerate(values.tolist()):
+        e = v if e is None else alpha * v + (1.0 - alpha) * e
+        out[i] = e
+    return out
+
+
+def _sorted_mid(rows: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Medians of pre-sorted rows whose first ``lengths`` entries are data.
+
+    ``(lo + hi) / 2`` over the two middle order statistics — for odd
+    lengths both indices coincide and the halving is exact, so the result
+    is bitwise what ``np.median`` computes from the same multiset.
+    """
+    r = np.arange(lengths.size)
+    lo = rows[r, (lengths - 1) // 2]
+    hi = rows[r, lengths // 2]
+    return (lo + hi) / 2.0
+
+
+def _prefix_median_mad(
+    arr: np.ndarray, ends: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(median, MAD)`` of every prefix ``arr[:end + 1]``, vectorised.
+
+    Equivalent to ``np.median(arr[:e + 1])`` / ``np.median(np.abs(arr[:e
+    + 1] - med))`` per end index — same order statistics, same midpoint
+    arithmetic, hence bitwise-identical for the finite series both
+    engines feed it — but with two padded sorts instead of O(window)
+    separate numpy reductions (the growing-prefix head of the long
+    window made ``offline_grid`` median-dispatch-bound).  Padding is
+    ``+inf``, which sorts after every finite value.
+    """
+    if ends.size == 0:
+        return np.empty(0), np.empty(0)
+    lengths = ends + 1
+    width = int(lengths[-1])
+    pad = np.arange(width)[None, :] >= lengths[:, None]
+    values = np.where(pad, np.inf, arr[None, :width])
+    med = _sorted_mid(np.sort(values, axis=1), lengths)
+    deviations = np.abs(arr[None, :width] - med[:, None])
+    deviations[pad] = np.inf
+    mad = _sorted_mid(np.sort(deviations, axis=1), lengths)
+    return med, mad
+
+
+@register_detector
+@dataclass(frozen=True)
+class EmaMadDetector:
+    """EMA smoothing + short-window energy + long-window MAD deviation."""
+
+    name: ClassVar[str] = "ema_mad"
+
+    ema_alpha: float = 0.3
+    short_window: int = 30
+    long_window: int = 120
+    min_long: int = 10
+    threshold_scale: float = 3.0
+    dev_factor: float = 3.0
+    down_ratio: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ValueError(f"ema_alpha must be in (0, 1], got {self.ema_alpha}")
+        if self.short_window < 2:
+            raise ValueError(f"short_window must be >= 2, got {self.short_window}")
+        if self.long_window < self.short_window:
+            raise ValueError(
+                "long_window must be >= short_window, got "
+                f"{self.long_window} < {self.short_window}"
+            )
+        if not 2 <= self.min_long <= self.long_window:
+            raise ValueError(
+                f"min_long must be in [2, long_window], got {self.min_long}"
+            )
+        if self.threshold_scale <= 0.0:
+            raise ValueError(
+                f"threshold_scale must be > 0, got {self.threshold_scale}"
+            )
+        if self.dev_factor <= 0.0:
+            raise ValueError(f"dev_factor must be > 0, got {self.dev_factor}")
+        if not 0.0 < self.down_ratio <= 1.0:
+            raise ValueError(f"down_ratio must be in (0, 1], got {self.down_ratio}")
+
+    # -- offline reference -------------------------------------------------
+
+    def offline_grid(self, std_sums, config, init_samples: int) -> DetectionGrid:
+        matrix = np.asarray(std_sums, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"std_sums must be 2-D, got shape {matrix.shape}")
+        if init_samples < 2:
+            raise ValueError(f"init_samples must be >= 2, got {init_samples}")
+        n, n_cols = matrix.shape
+        decisions = np.empty((n, n_cols), dtype=np.int8)
+        thresholds = np.empty((n, n_cols))
+        for col in range(n_cols):
+            dec, thr = self._offline_column(
+                np.ascontiguousarray(matrix[:, col]), init_samples
+            )
+            decisions[:, col] = dec
+            thresholds[:, col] = thr
+        return DetectionGrid(decisions=decisions, thresholds=thresholds)
+
+    def _offline_column(
+        self, values: np.ndarray, init_samples: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = values.size
+        decisions = np.full(n, -1, dtype=np.int8)
+        thresholds = np.full(n, np.nan)
+        if n == 0:
+            return decisions, thresholds
+        ema = _ema_series(values, self.ema_alpha)
+        w, long_w = self.short_window, self.long_window
+
+        # Short-window std of the smoothed series: defined from 2 values
+        # (partial head), full windows vectorised.
+        stds = np.full(n, np.nan)
+        for i in range(1, min(w - 1, n)):
+            stds[i] = np.std(ema[: i + 1])
+        if n >= w:
+            stds[w - 1 :] = np.std(sliding_window_view(ema, w), axis=1)
+
+        # Long-window median/MAD: defined once min_long values exist.
+        med = np.full(n, np.nan)
+        mad = np.full(n, np.nan)
+        lo, hi = self.min_long - 1, min(long_w - 1, n)
+        if lo < hi:
+            med[lo:hi], mad[lo:hi] = _prefix_median_mad(
+                ema, np.arange(lo, hi)
+            )
+        if n >= long_w:
+            rows = sliding_window_view(ema, long_w)
+            mm = np.median(rows, axis=1)
+            med[long_w - 1 :] = mm
+            mad[long_w - 1 :] = np.median(np.abs(rows - mm[:, None]), axis=1)
+
+        if n < init_samples:
+            return decisions, thresholds
+
+        # Calibrate the energy threshold on the init window, then walk the
+        # hysteresis state machine over the remainder.
+        calib = stds[1:init_samples]
+        base = float(np.median(calib)) if calib.size else 0.0
+        eff = max(self.threshold_scale * base, _EFF_FLOOR)
+        thresholds[init_samples - 1 :] = eff
+        down = eff * self.down_ratio
+        # Vectorised trigger/exit evidence (same IEEE ops as the scalar
+        # streaming walk), then the inherently sequential two-state
+        # hysteresis over plain python bools.
+        s_tail = stds[init_samples:]
+        mad_tail = mad[init_samples:]
+        rs = np.where(mad_tail > _MAD_TINY, mad_tail * _MAD_SIGMA, 0.0)
+        dev = np.zeros(n - init_samples)
+        robust = rs > _MAD_TINY
+        dev[robust] = (
+            np.abs(ema[init_samples:] - med[init_samples:])[robust]
+            / rs[robust]
+        )
+        trig_tail = np.where(
+            np.isnan(med[init_samples:]),
+            s_tail > eff,
+            (dev > self.dev_factor) | (s_tail > eff),
+        )
+        exit_tail = s_tail < down
+        active = False
+        out = decisions[init_samples:]
+        for i, (trig, drop) in enumerate(
+            zip(trig_tail.tolist(), exit_tail.tolist())
+        ):
+            if active:
+                if drop:
+                    active = False
+            elif trig:
+                active = True
+            out[i] = 1 if active else 0
+        return decisions, thresholds
+
+    # -- streaming engine --------------------------------------------------
+
+    def streaming_engine(self, config, init_samples: int) -> "EmaMadEngine":
+        return EmaMadEngine(self, init_samples)
+
+
+class EmaMadEngine:
+    """Incremental :class:`EmaMadDetector` over one scalar series.
+
+    Bounded state: the EMA accumulator, a carry tail of the last
+    ``long_window - 1`` *smoothed* values in arrival order (one tail
+    serves both the short and long windows since ``long_window >=
+    short_window``), the init-window calibration buffer and the hysteresis
+    flag.  ``extend`` applies the same reductions as the offline column —
+    prefix stds/medians for the partial head, ``sliding_window_view``
+    rows once windows fill — so its concatenated output is bitwise equal
+    to the reference whatever the batch splits.
+    """
+
+    def __init__(self, detector: EmaMadDetector, init_samples: int) -> None:
+        if init_samples < 2:
+            raise ValueError(f"init_samples must be >= 2, got {init_samples}")
+        self._det = detector
+        self._init = int(init_samples)
+        self._count = 0
+        self._ema_last: Optional[float] = None
+        self._carry = np.empty(0)
+        self._calib: List[float] = []
+        self._eff: Optional[float] = None
+        self._down = np.nan
+        self._active = False
+
+    def extend(self, values) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume one batch; return its (decisions, thresholds)."""
+        det = self._det
+        batch = np.ascontiguousarray(values, dtype=float).ravel()
+        m = batch.size
+        decisions = np.full(m, -1, dtype=np.int8)
+        thresholds = np.full(m, np.nan)
+        if m == 0:
+            return decisions, thresholds
+
+        # Smooth, then extend the carried tail so window reductions see
+        # the same contiguous value sequences the offline column does.
+        ema_b = np.empty(m)
+        e = self._ema_last
+        for j, v in enumerate(batch.tolist()):
+            e = v if e is None else det.ema_alpha * v + (1.0 - det.ema_alpha) * e
+            ema_b[j] = e
+        self._ema_last = e
+        c0 = self._count
+        tail = self._carry.size  # == min(c0, long_window - 1)
+        ext = np.concatenate((self._carry, ema_b)) if tail else ema_b
+        w, long_w = det.short_window, det.long_window
+
+        # Short-window stds for this batch (global index g = c0 + j).
+        stds_b = np.full(m, np.nan)
+        head_lo = max(1 - c0, 0)
+        head_hi = min(max(w - 1 - c0, 0), m)
+        for j in range(head_lo, head_hi):
+            stds_b[j] = np.std(ext[: tail + j + 1])
+        j0 = max(w - 1 - c0, 0)
+        if j0 < m:
+            rows = sliding_window_view(ext, w)
+            stds_b[j0:] = np.std(rows[tail + j0 - w + 1 :], axis=1)
+
+        # Long-window median/MAD for this batch.
+        med_b = np.full(m, np.nan)
+        mad_b = np.full(m, np.nan)
+        part_lo = max(det.min_long - 1 - c0, 0)
+        part_hi = min(max(long_w - 1 - c0, 0), m)
+        if part_lo < part_hi:
+            ends = tail + np.arange(part_lo, part_hi)
+            med_b[part_lo:part_hi], mad_b[part_lo:part_hi] = (
+                _prefix_median_mad(ext, ends)
+            )
+        jl = max(long_w - 1 - c0, 0)
+        if jl < m:
+            rows = sliding_window_view(ext, long_w)
+            seg = rows[tail + jl - long_w + 1 :]
+            mm = np.median(seg, axis=1)
+            med_b[jl:] = mm
+            mad_b[jl:] = np.median(np.abs(seg - mm[:, None]), axis=1)
+
+        # Calibration + hysteresis, one step at a time.
+        for j in range(m):
+            g = c0 + j
+            s = float(stds_b[j])
+            if self._eff is None:
+                if 1 <= g <= self._init - 1:
+                    self._calib.append(s)
+                if g == self._init - 1:
+                    base = (
+                        float(np.median(np.asarray(self._calib)))
+                        if self._calib
+                        else 0.0
+                    )
+                    self._eff = max(det.threshold_scale * base, _EFF_FLOOR)
+                    self._down = self._eff * det.down_ratio
+                    self._calib = []
+            if self._eff is None:
+                continue
+            if g >= self._init - 1:
+                thresholds[j] = self._eff
+            if g < self._init:
+                continue
+            if not np.isnan(med_b[j]):
+                madv = float(mad_b[j])
+                rs = madv * _MAD_SIGMA if madv > _MAD_TINY else 0.0
+                dev = (
+                    abs(float(ema_b[j]) - float(med_b[j])) / rs
+                    if rs > _MAD_TINY
+                    else 0.0
+                )
+                trig = dev > det.dev_factor or s > self._eff
+            else:
+                trig = s > self._eff
+            if self._active:
+                if s < self._down:
+                    self._active = False
+            elif trig:
+                self._active = True
+            decisions[j] = 1 if self._active else 0
+
+        self._count = c0 + m
+        keep = min(self._count, long_w - 1)
+        self._carry = ext[len(ext) - keep :].copy() if keep else ext[:0].copy()
+        return decisions, thresholds

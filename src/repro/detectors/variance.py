@@ -1,0 +1,179 @@
+"""Rolling-variance threshold detector (SNIPPETS.md Snippets 1–2 lineage).
+
+The senseye ``_rssi_variance`` path reduced presence detection to "the
+population variance of the last ``window`` samples exceeds a threshold"
+(with fewer than two samples the variance is defined as ``0.0``).  This
+detector is that idea applied to the std-sum series: no smoothing, no
+hysteresis — the cheapest member of the zoo and the natural baseline the
+sweep reports compare the others against.
+
+As with :class:`~repro.detectors.ema_mad.EmaMadDetector`, the absolute
+threshold of the exemplar becomes a *calibrated* one: the effective
+threshold is ``threshold_scale`` times the median rolling variance seen
+over the initialisation window.  Decisions are ``-1`` during
+initialisation; the threshold trace first materialises at
+``init_samples - 1`` (the KDE grid's convention).
+
+:meth:`VarianceThresholdDetector.offline_grid` is the full-array
+reference; :meth:`VarianceThresholdDetector.streaming_engine` keeps only
+a carry tail of the last ``window - 1`` raw values (arrival order) and
+applies the same numpy reductions to the same value sequences, so the
+two are bitwise identical under arbitrary batch splits — enforced by the
+registry-parametrized hypothesis suite in tier-1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, List, Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .base import DetectionGrid, register_detector
+
+__all__ = ["VarianceThresholdDetector"]
+
+# Same role as the ema_mad floor: an all-quiet init window must not
+# calibrate a zero threshold (every comparison would fire on noise ==).
+_EFF_FLOOR = 1e-12
+
+
+@register_detector
+@dataclass(frozen=True)
+class VarianceThresholdDetector:
+    """Population variance of the last ``window`` std sums vs threshold."""
+
+    name: ClassVar[str] = "variance"
+
+    window: int = 10
+    threshold_scale: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window}")
+        if self.threshold_scale <= 0.0:
+            raise ValueError(
+                f"threshold_scale must be > 0, got {self.threshold_scale}"
+            )
+
+    # -- offline reference -------------------------------------------------
+
+    def offline_grid(self, std_sums, config, init_samples: int) -> DetectionGrid:
+        matrix = np.asarray(std_sums, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError(f"std_sums must be 2-D, got shape {matrix.shape}")
+        if init_samples < 2:
+            raise ValueError(f"init_samples must be >= 2, got {init_samples}")
+        n, n_cols = matrix.shape
+        decisions = np.empty((n, n_cols), dtype=np.int8)
+        thresholds = np.empty((n, n_cols))
+        for col in range(n_cols):
+            dec, thr = self._offline_column(
+                np.ascontiguousarray(matrix[:, col]), init_samples
+            )
+            decisions[:, col] = dec
+            thresholds[:, col] = thr
+        return DetectionGrid(decisions=decisions, thresholds=thresholds)
+
+    def _offline_column(
+        self, values: np.ndarray, init_samples: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        n = values.size
+        decisions = np.full(n, -1, dtype=np.int8)
+        thresholds = np.full(n, np.nan)
+        if n == 0:
+            return decisions, thresholds
+        w = self.window
+        # Fewer than 2 samples -> 0.0, the exemplar's convention; partial
+        # head from 2 values, full windows vectorised.
+        variances = np.zeros(n)
+        for i in range(1, min(w - 1, n)):
+            variances[i] = np.var(values[: i + 1])
+        if n >= w:
+            variances[w - 1 :] = np.var(sliding_window_view(values, w), axis=1)
+
+        if n < init_samples:
+            return decisions, thresholds
+        calib = variances[1:init_samples]
+        base = float(np.median(calib)) if calib.size else 0.0
+        eff = max(self.threshold_scale * base, _EFF_FLOOR)
+        thresholds[init_samples - 1 :] = eff
+        decisions[init_samples:] = variances[init_samples:] > eff
+        return decisions, thresholds
+
+    # -- streaming engine --------------------------------------------------
+
+    def streaming_engine(self, config, init_samples: int) -> "VarianceEngine":
+        return VarianceEngine(self, init_samples)
+
+
+class VarianceEngine:
+    """Incremental :class:`VarianceThresholdDetector` over one series.
+
+    State is the last ``window - 1`` raw values (arrival order), the
+    sample count, the calibration buffer and — once calibrated — the
+    effective threshold.  Stateless past calibration: each decision reads
+    only the current rolling variance, so the post-init batch path is
+    fully vectorised.
+    """
+
+    def __init__(self, detector: VarianceThresholdDetector, init_samples: int) -> None:
+        if init_samples < 2:
+            raise ValueError(f"init_samples must be >= 2, got {init_samples}")
+        self._det = detector
+        self._init = int(init_samples)
+        self._count = 0
+        self._carry = np.empty(0)
+        self._calib: List[float] = []
+        self._eff: Optional[float] = None
+
+    def extend(self, values) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume one batch; return its (decisions, thresholds)."""
+        batch = np.ascontiguousarray(values, dtype=float).ravel()
+        m = batch.size
+        decisions = np.full(m, -1, dtype=np.int8)
+        thresholds = np.full(m, np.nan)
+        if m == 0:
+            return decisions, thresholds
+        c0 = self._count
+        tail = self._carry.size  # == min(c0, window - 1)
+        ext = np.concatenate((self._carry, batch)) if tail else batch
+        w = self._det.window
+
+        # Rolling variances for this batch (global index g = c0 + j).
+        var_b = np.zeros(m)
+        head_lo = max(1 - c0, 0)
+        head_hi = min(max(w - 1 - c0, 0), m)
+        for j in range(head_lo, head_hi):
+            var_b[j] = np.var(ext[: tail + j + 1])
+        j0 = max(w - 1 - c0, 0)
+        if j0 < m:
+            rows = sliding_window_view(ext, w)
+            var_b[j0:] = np.var(rows[tail + j0 - w + 1 :], axis=1)
+
+        # Calibrate once init_samples values have been seen, then compare.
+        if self._eff is None:
+            lo = max(1 - c0, 0)
+            hi = min(max(self._init - c0, 0), m)
+            if hi > lo:
+                self._calib.extend(float(v) for v in var_b[lo:hi])
+            if c0 + m >= self._init:
+                base = (
+                    float(np.median(np.asarray(self._calib)))
+                    if self._calib
+                    else 0.0
+                )
+                self._eff = max(self._det.threshold_scale * base, _EFF_FLOOR)
+                self._calib = []
+        if self._eff is not None:
+            thr_j = max(self._init - 1 - c0, 0)
+            thresholds[thr_j:] = self._eff
+            dec_j = max(self._init - c0, 0)
+            if dec_j < m:
+                decisions[dec_j:] = var_b[dec_j:] > self._eff
+
+        self._count = c0 + m
+        keep = min(self._count, w - 1)
+        self._carry = ext[len(ext) - keep :].copy()
+        return decisions, thresholds

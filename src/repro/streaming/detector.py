@@ -392,6 +392,11 @@ class OnlineDetector:
     sample_rate_hz:
         Sampling rate of the stream (window sizes derive from it exactly
         like the scalar detector's).
+    detector:
+        Optional detector-zoo member (``repro.detectors``): its
+        ``streaming_engine`` replaces the KDE :class:`OnlineProfile` as
+        the decision engine behind the shared std-sum kernel and window
+        tracker.  ``None`` keeps the paper's detector.
     """
 
     def __init__(
@@ -399,6 +404,8 @@ class OnlineDetector:
         stream_ids: Sequence[str],
         config: Optional[MDConfig] = None,
         sample_rate_hz: float = 4.0,
+        *,
+        detector: Optional[object] = None,
     ) -> None:
         if sample_rate_hz <= 0:
             raise ValueError("sample_rate_hz must be positive")
@@ -407,6 +414,7 @@ class OnlineDetector:
             raise ValueError("at least one stream id is required")
         self._config = config if config is not None else MDConfig()
         self._rate = float(sample_rate_hz)
+        self._detector = detector
         window_samples = max(
             int(round(self._config.std_window_s * self._rate)), 2
         )
@@ -414,7 +422,10 @@ class OnlineDetector:
             int(round(self._config.profile_init_s * self._rate)), 2
         )
         self._std = OnlineStdSum(len(self._stream_ids), window_samples)
-        self._profile = OnlineProfile(self._config, init_samples)
+        if detector is None:
+            self._profile = OnlineProfile(self._config, init_samples)
+        else:
+            self._profile = detector.streaming_engine(self._config, init_samples)
         self._windows = WindowTracker(self._config.merge_gap_s)
         self._last_t: Optional[float] = None
 
@@ -428,8 +439,14 @@ class OnlineDetector:
         return self._config
 
     @property
-    def profile(self) -> OnlineProfile:
+    def profile(self):
+        """The decision engine (``OnlineProfile`` or a zoo engine)."""
         return self._profile
+
+    @property
+    def detector(self) -> Optional[object]:
+        """The zoo member driving decisions (``None`` = the KDE path)."""
+        return self._detector
 
     @property
     def samples_seen(self) -> int:

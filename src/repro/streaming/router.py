@@ -110,9 +110,10 @@ class IngestRouter:
         Bound of each shard's batch queue — the backpressure knob.
         Producers block in :meth:`submit` once their tenant's shard is
         this far behind.
-    config / sample_rate_hz:
+    config / sample_rate_hz / detector:
         Defaults for detectors built at registration (overridable per
-        tenant).
+        tenant); ``detector`` names a detector-zoo member
+        (``repro.detectors``), ``None`` meaning the paper's KDE path.
     keep_blocks:
         Keep every processed :class:`DetectionBlock` on the tenant state
         (the load-generator / equivalence-test mode).  A long-running
@@ -128,6 +129,7 @@ class IngestRouter:
         config: Optional[MDConfig] = None,
         sample_rate_hz: float = 4.0,
         keep_blocks: bool = True,
+        detector: Optional[object] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -135,6 +137,7 @@ class IngestRouter:
             raise ValueError("queue_capacity must be >= 1")
         self._config = config if config is not None else MDConfig()
         self._rate = float(sample_rate_hz)
+        self._detector = detector
         self._keep_blocks = bool(keep_blocks)
         self._tenants: Dict[str, TenantState] = {}
         self._lock = threading.Lock()
@@ -191,8 +194,14 @@ class IngestRouter:
         *,
         config: Optional[MDConfig] = None,
         sample_rate_hz: Optional[float] = None,
+        detector: Optional[object] = None,
     ) -> TenantState:
-        """Register an office, assigning it to the next shard round-robin."""
+        """Register an office, assigning it to the next shard round-robin.
+
+        ``detector`` overrides the router's default zoo member for this
+        tenant, so one router can host heterogeneous per-tenant detectors
+        (each tenant's engine is private state on its own shard).
+        """
         self._check_failure()
         if self._closed:
             raise RuntimeError("router is closed")
@@ -210,6 +219,9 @@ class IngestRouter:
                         sample_rate_hz
                         if sample_rate_hz is not None
                         else self._rate
+                    ),
+                    detector=(
+                        detector if detector is not None else self._detector
                     ),
                 ),
             )

@@ -63,10 +63,10 @@ class TestScenarioGrid:
         assert [spec.index for spec in specs] == list(range(len(specs)))
         names = [spec.name for spec in specs]
         assert len(set(names)) == len(names)
-        assert names[0] == "paper-office/tiny/default/default/r0"
+        assert names[0] == "paper-office/tiny/default/default/kde_md/r0"
         # Iteration order is deterministic: layouts, scales, channels,
-        # configs, replicates.
-        assert names[1] == "paper-office/tiny/default/t6/r0"
+        # configs, detectors, replicates.
+        assert names[1] == "paper-office/tiny/default/t6/kde_md/r0"
 
     def test_replicates_are_distinct_grid_points(self):
         grid = ScenarioGrid(
@@ -191,7 +191,9 @@ class TestScenarioSweepRunner:
 
     def test_distinct_scenarios_get_distinct_noise(self, report):
         day_a = report.results[0].recording.days[0]
-        busy = report.result_for("paper-office/tiny-busy/default/default/r0")
+        busy = report.result_for(
+            "paper-office/tiny-busy/default/default/kde_md/r0"
+        )
         day_b = busy.recording.days[0]
         sid = day_a.trace.stream_ids[0]
         a, b = day_a.trace.streams[sid], day_b.trace.streams[sid]
