@@ -15,7 +15,9 @@ substrates its evaluation needs:
 * :mod:`repro.simulation` — campaign collection harness,
 * :mod:`repro.analysis` — per-table / per-figure reproduction code,
 * :mod:`repro.streaming` — the incremental detection engine (bounded-state
-  online kernel, stream sources, multi-tenant ingestion router).
+  online kernel, stream sources, multi-tenant ingestion router),
+* :mod:`repro.reliability` — deterministic fault injection and
+  checkpoint/restore for the streaming and sweep stacks.
 
 Quickstart
 ----------
@@ -39,6 +41,7 @@ from .detectors import (
     register_detector,
 )
 from .radio.office import OfficeLayout, paper_office, wide_office
+from .reliability import CheckpointStore, FaultInjector, FaultPlan, FaultSpec
 from .analysis.sweep_queue import SweepWorker, run_prioritized
 from .simulation.collector import CampaignCollector, CampaignRecording
 from .simulation.runner import CampaignRunner, DayTask
@@ -102,16 +105,34 @@ from .streaming import IngestRouter, OnlineDetector
 # sweep-store fingerprint, grouped in SweepReport cell statistics plus a
 # detector_comparison table, and hosted per-tenant by OnlineDetector /
 # IngestRouter.
-__version__ = "2.7.0"
+# 2.8.0: fault-injection harness + self-healing fleet — repro.reliability
+# (FaultPlan/FaultInjector: seeded, picklable fault plans fired at named
+# seams threaded through SweepStore I/O, LeaseManager, SweepWorker and
+# the streaming sources/router; CheckpointStore + snapshot()/restore()
+# across the whole streaming stack, JSON round-trips proven bitwise
+# identical at arbitrary cut points for every registered detector);
+# SweepStore records carry a SHA-256 payload checksum (format 2) and
+# quarantine corrupt files to *.corrupt (new `corrupt` counter —
+# hits+misses+stale+corrupt partition lookups); run_prioritized
+# supervises its fleet (capped respawns, exponential backoff, fault-free
+# replacements); SweepWorker releases leases on SIGTERM and discards
+# results whose lease was stolen mid-collect; IngestRouter grows
+# fail_fast / restart_shard (per-batch checkpoints) / quarantine
+# (dead-letter records) failure policies with per-shard counters.
+__version__ = "2.8.0"
 
 __all__ = [
     "CampaignCollector",
     "CampaignRecording",
     "CampaignRunner",
+    "CheckpointStore",
     "DayTask",
     "EmaMadDetector",
     "FadewichConfig",
     "FadewichSystem",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "IngestRouter",
     "KdeMdDetector",
     "MDConfig",

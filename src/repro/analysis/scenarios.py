@@ -861,6 +861,10 @@ class SweepRunStats:
     ``claim_filter``): scenarios that were neither cached nor granted to
     this runner, i.e. left for other workers.  A run is *complete* —
     its report covers the whole grid — iff ``n_unclaimed == 0``.
+
+    ``n_discarded`` counts analysed results thrown away by a
+    ``put_filter`` veto (a lost lease): never persisted, never reported,
+    re-counted under ``n_unclaimed`` so completeness stays honest.
     """
 
     n_scenarios: int
@@ -869,6 +873,7 @@ class SweepRunStats:
     n_simulations: int
     n_day_tasks: int
     n_unclaimed: int = 0
+    n_discarded: int = 0
 
     @property
     def complete(self) -> bool:
@@ -1187,6 +1192,9 @@ class ScenarioSweepRunner:
         store: Optional[SweepStore] = None,
         *,
         claim_filter: Optional[Callable[[Tuple[str, str, str, int]], bool]] = None,
+        put_filter: Optional[Callable[[Tuple[str, str, str, int]], bool]] = None,
+        on_put: Optional[Callable[[Tuple[str, str, str, int]], None]] = None,
+        on_superseded: Optional[Callable[[Tuple[str, str, str, int]], None]] = None,
     ) -> SweepReport:
         """Collect and analyse the grid, returning the report.
 
@@ -1221,13 +1229,32 @@ class ScenarioSweepRunner:
         re-checked against the store: completed records supersede claims
         (another worker may have finished a key between the initial load
         pass and the grant), so a crash-then-reclaim can never analyse a
-        scenario twice into diverging records.  The returned report covers
+        scenario twice into diverging records.  ``on_superseded``
+        (requires ``claim_filter``) is called with each granted key whose
+        every scenario was superseded this way — the claim did no work,
+        and the sweep-queue layer answers by releasing the lease and
+        reclassifying the win, keeping "claims won" an exact partition of
+        the keys actually collected.  The returned report covers
         only the cached + granted scenarios — check
         ``last_run_stats.n_unclaimed`` (0 means the grid is complete) or
         ``last_run_stats.complete`` before treating it as the full grid.
+
+        ``put_filter`` / ``on_put`` (both require ``store``) bracket each
+        persistence of a freshly analysed scenario.  ``put_filter`` is
+        asked with the scenario's simulation key immediately before its
+        ``store.put``; answering ``False`` *discards* the result — it is
+        neither persisted nor reported, and counts as unclaimed — which
+        is how :class:`~repro.analysis.sweep_queue.SweepWorker` drops
+        results whose lease was stolen mid-collect rather than racing the
+        thief's own put.  ``on_put`` runs right after each successful
+        ``store.put`` (a crash-after-put fault-injection seam).
         """
         if claim_filter is not None and store is None:
             raise ValueError("claim_filter requires a store")
+        if (put_filter is not None or on_put is not None) and store is None:
+            raise ValueError("put_filter/on_put require a store")
+        if on_superseded is not None and claim_filter is None:
+            raise ValueError("on_superseded requires a claim_filter")
         results: Dict[str, ScenarioResult] = {}
         store_keys: Dict[str, Dict[str, object]] = {}
         if store is not None:
@@ -1259,9 +1286,13 @@ class ScenarioSweepRunner:
                     results[spec.name] = result
             missing = [s for s in self._specs if s.name not in results]
             collect_keys = granted & {s.simulation_key() for s in missing}
+            if on_superseded is not None:
+                for key in granted - collect_keys:
+                    on_superseded(key)
         self._last_collect_task_count = 0
         pairs = self.collect(needed=collect_keys) if collect_keys else []
         n_analyzed = 0
+        n_discarded = 0
         # Detector/config variants of one simulation share the recording;
         # share the rolling feature matrices too (keyed per recording and
         # FADEWICH config — detectors consume the same std sums), so the
@@ -1276,17 +1307,26 @@ class ScenarioSweepRunner:
                 features = CampaignStdFeatures(recording, spec.config)
                 features_cache[features_key] = features
             result = self.analyze(spec, recording, features=features)
-            if store is not None:
-                store.put(spec.name, store_keys[spec.name], result.to_dict())
-            results[spec.name] = result
             n_analyzed += 1
+            if store is not None:
+                sim_key = spec.simulation_key()
+                if put_filter is not None and not put_filter(sim_key):
+                    # Lost the claim mid-collect: the thief will produce
+                    # this record; persisting ours would race its put.
+                    n_discarded += 1
+                    continue
+                store.put(spec.name, store_keys[spec.name], result.to_dict())
+                if on_put is not None:
+                    on_put(sim_key)
+            results[spec.name] = result
         self.last_run_stats = SweepRunStats(
             n_scenarios=len(self._specs),
-            n_cached=len(results) - n_analyzed,
+            n_cached=len(results) - (n_analyzed - n_discarded),
             n_analyzed=n_analyzed,
             n_simulations=len(collect_keys),
             n_day_tasks=self._last_collect_task_count,
             n_unclaimed=len(self._specs) - len(results),
+            n_discarded=n_discarded,
         )
         return SweepReport(
             results=[

@@ -63,6 +63,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import signal
 import socket
 import tempfile
 import threading
@@ -81,6 +82,14 @@ from typing import (
     Union,
 )
 
+from ..reliability.faults import (
+    LEASE_CLOCK_SKEW,
+    LEASE_HEARTBEAT_STALL,
+    LEASE_UNLINK_RACE,
+    WORKER_CRASH_AFTER_PUT,
+    WORKER_CRASH_BEFORE_PUT,
+    as_injector,
+)
 from .scenarios import ScenarioGrid, ScenarioSweepRunner, SweepReport
 from .sweep_store import SweepStore, name_slug
 
@@ -136,6 +145,17 @@ class LeaseManager:
         Heartbeats older than this make a lease reclaimable by anyone.
         Workers on different hosts compare wall clocks here, so keep the
         TTL comfortably above plausible clock skew.
+    faults:
+        Optional :class:`~repro.reliability.FaultPlan` /
+        :class:`~repro.reliability.FaultInjector` enabling the lease
+        hazards: ``lease.clock_skew`` (a constant offset on this
+        manager's wall clock, both when stamping heartbeats and when
+        judging expiry — the cross-host drift hazard),
+        ``lease.heartbeat_stall`` (the background renewal thread skips a
+        firing tick, so held leases silently age toward theft) and
+        ``lease.unlink_race`` (a competitor's fresh lease materialises
+        between our expired-lease unlink and re-link — the break race
+        lost).
     """
 
     def __init__(
@@ -144,6 +164,7 @@ class LeaseManager:
         *,
         owner: Optional[str] = None,
         ttl_s: float = DEFAULT_LEASE_TTL_S,
+        faults: Optional[object] = None,
     ) -> None:
         self._store = store if isinstance(store, SweepStore) else SweepStore(store)
         if ttl_s <= 0:
@@ -152,6 +173,7 @@ class LeaseManager:
             f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         )
         self.ttl_s = float(ttl_s)
+        self._faults = as_injector(faults)
         self._lock = threading.Lock()
         self._held: Dict[str, Path] = {}
 
@@ -205,14 +227,34 @@ class LeaseManager:
             ttl_s=self.ttl_s,
         )
 
+    def owns(self, name: str) -> bool:
+        """Disk truth: is the lease on ``name`` currently ours?
+
+        Unlike :meth:`held` (this manager's belief), this re-reads the
+        lease file — the check a worker makes before persisting a result,
+        so work finished after a competitor stole the expired lease is
+        discarded instead of racing the thief's own put.
+        """
+        current = self.read(name)
+        return current is not None and current.owner == self.owner
+
     # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        """This manager's wall clock, plus any injected constant skew."""
+        now = time.time()
+        if self._faults is not None:
+            spec = self._faults.constant(LEASE_CLOCK_SKEW)
+            if spec is not None:
+                now += float(spec.payload)
+        return now
+
     def _payload(self, name: str) -> Dict[str, object]:
         return {
             "format": LEASE_FORMAT,
             "name": name,
             "owner": self.owner,
             "pid": os.getpid(),
-            "heartbeat": time.time(),
+            "heartbeat": self._now(),
             "ttl_s": self.ttl_s,
         }
 
@@ -243,7 +285,7 @@ class LeaseManager:
             won = self._link(tmp_name, path)
             if not won:
                 existing = self.read(name)
-                if existing is not None and not existing.expired():
+                if existing is not None and not existing.expired(self._now()):
                     return False
                 # Expired (or vanished since the failed link): break it
                 # and race for the fresh claim.
@@ -253,11 +295,39 @@ class LeaseManager:
                     pass
                 except OSError:
                     return False
+                if (
+                    self._faults is not None
+                    and self._faults.fired(LEASE_UNLINK_RACE) is not None
+                ):
+                    # A competing breaker wins the post-unlink race: its
+                    # fresh lease lands before our re-link attempt.
+                    self._plant_competitor(name, path)
                 won = self._link(tmp_name, path)
             if won:
                 with self._lock:
                     self._held[name] = path
             return won
+        finally:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+    def _plant_competitor(self, name: str, path: Path) -> None:
+        """Materialise a live competitor's lease (fault-injection only)."""
+        fd, tmp_name = tempfile.mkstemp(
+            prefix="lease.", suffix=".tmp", dir=self._store.path
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            payload = dict(
+                self._payload(name),
+                owner="<injected-competitor>",
+                heartbeat=time.time(),
+            )
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        try:
+            self._link(tmp_name, path)
         finally:
             try:
                 os.unlink(tmp_name)
@@ -334,7 +404,14 @@ class _Heartbeat(threading.Thread):
 
     def run(self) -> None:
         interval = self._leases.ttl_s / 4.0
+        injector = self._leases._faults
         while not self._stopped.wait(interval):
+            if (
+                injector is not None
+                and injector.fired(LEASE_HEARTBEAT_STALL) is not None
+            ):
+                # A stalled tick: held leases silently age toward theft.
+                continue
             self._leases.renew_all()
 
     def stop(self) -> None:
@@ -362,6 +439,14 @@ class SweepWorkerStats:
     claims_lost: int = 0
     scenarios_analyzed: int = 0
     idle_waits: int = 0
+    #: Analysed results thrown away because the key's lease was stolen
+    #: mid-collect (heartbeat theft): never persisted, redone elsewhere.
+    puts_discarded: int = 0
+    #: Claims released without work because a competitor's completed
+    #: records landed between the store load and the lease acquisition;
+    #: not counted in ``claims_won``, so wins exactly partition the keys
+    #: this fleet actually collected.
+    claims_superseded: int = 0
 
 
 class SweepWorker:
@@ -396,6 +481,16 @@ class SweepWorker:
         Give up (``TimeoutError``) if the grid is still incomplete after
         this long — e.g. a competitor that holds a lease, renews it
         forever and never finishes.  ``None`` waits indefinitely.
+    faults:
+        Optional :class:`~repro.reliability.FaultPlan` /
+        :class:`~repro.reliability.FaultInjector` shared across this
+        worker's whole stack: forwarded to its :class:`LeaseManager`
+        (clock skew, heartbeat stalls, unlink races), installed on the
+        store if the store has no injector of its own (read/write/fsync
+        errors, record corruption), and consulted at the two worker crash
+        points — ``worker.crash_before_put`` (result analysed, nothing
+        persisted) and ``worker.crash_after_put`` (record persisted,
+        lease never released).
     """
 
     def __init__(
@@ -409,12 +504,18 @@ class SweepWorker:
         poll_interval_s: float = 0.2,
         timeout_s: Optional[float] = None,
         log: Optional[Callable[[str], None]] = None,
+        faults: Optional[object] = None,
     ) -> None:
         if claim_chunk < 1:
             raise ValueError("claim_chunk must be >= 1")
         self._runner = runner
         self._store = store if isinstance(store, SweepStore) else SweepStore(store)
-        self._leases = LeaseManager(self._store, owner=owner, ttl_s=lease_ttl_s)
+        self._faults = as_injector(faults)
+        if self._faults is not None and self._store.faults is None:
+            self._store.faults = self._faults
+        self._leases = LeaseManager(
+            self._store, owner=owner, ttl_s=lease_ttl_s, faults=self._faults
+        )
         self._claim_chunk = int(claim_chunk)
         self._poll_interval_s = float(poll_interval_s)
         self._timeout_s = timeout_s
@@ -434,7 +535,13 @@ class SweepWorker:
             self._log(f"[{self.owner}] {message}")
 
     def run(self) -> SweepReport:
-        """Work until the grid is complete; return the full report."""
+        """Work until the grid is complete; return the full report.
+
+        When invoked from the main thread, a SIGTERM handler is installed
+        for the duration of the run that raises ``SystemExit(143)`` — so
+        a terminated worker unwinds through the ``finally`` below,
+        releasing every held lease instead of leaving them to expire.
+        """
         stats = SweepWorkerStats()
         self.last_worker_stats = stats
         deadline = (
@@ -442,6 +549,15 @@ class SweepWorker:
             if self._timeout_s is not None
             else None
         )
+        previous_sigterm: Optional[object] = None
+        sigterm_installed = False
+        if threading.current_thread() is threading.main_thread():
+
+            def _on_sigterm(signum: int, frame: object) -> None:
+                raise SystemExit(143)
+
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+            sigterm_installed = True
         heartbeat = _Heartbeat(self._leases)
         heartbeat.start()
         try:
@@ -459,9 +575,49 @@ class SweepWorker:
                     stats.claims_lost += 1
                     return False
 
+                def put_gate(sim_key: Tuple[str, str, str, int]) -> bool:
+                    if self._faults is not None:
+                        spec = self._faults.fired(WORKER_CRASH_BEFORE_PUT)
+                        if spec is not None:
+                            self._faults.apply(spec)
+                    lease = sim_lease_name(sim_key)
+                    if lease in claimed and not self._leases.owns(lease):
+                        # The lease expired and a competitor stole it:
+                        # discard our result — the thief's put (of the
+                        # bit-identical record) is authoritative, and a
+                        # racing double-put could interleave with it.
+                        stats.puts_discarded += 1
+                        self._say(
+                            f"lease {lease!r} stolen mid-collect; "
+                            f"discarding result"
+                        )
+                        return False
+                    return True
+
+                def after_put(sim_key: Tuple[str, str, str, int]) -> None:
+                    if self._faults is not None:
+                        spec = self._faults.fired(WORKER_CRASH_AFTER_PUT)
+                        if spec is not None:
+                            self._faults.apply(spec)
+
+                def superseded(sim_key: Tuple[str, str, str, int]) -> None:
+                    # A competitor finished this key between our store
+                    # load and our acquisition: the claim did no work.
+                    # Release it right away and reclassify the win.
+                    lease = sim_lease_name(sim_key)
+                    if lease in claimed:
+                        self._leases.release(lease)
+                        claimed.remove(lease)
+                        stats.claims_won -= 1
+                        stats.claims_superseded += 1
+
                 try:
                     report = self._runner.run(
-                        store=self._store, claim_filter=claim
+                        store=self._store,
+                        claim_filter=claim,
+                        put_filter=put_gate,
+                        on_put=after_put,
+                        on_superseded=superseded,
                     )
                 finally:
                     for lease in claimed:
@@ -494,6 +650,8 @@ class SweepWorker:
         finally:
             heartbeat.stop()
             self._leases.release_all()
+            if sigterm_installed:
+                signal.signal(signal.SIGTERM, previous_sigterm)
 
 
 # --------------------------------------------------------------------------- #
@@ -552,6 +710,7 @@ def _worker_entry(
     claim_chunk: int,
     timeout_s: Optional[float],
     log_path: Optional[str],
+    faults: Optional[object] = None,
 ) -> None:
     """Child-process entry point of one fleet worker (module-level so both
     fork and spawn start methods can import it)."""
@@ -565,6 +724,7 @@ def _worker_entry(
         poll_interval_s=poll_interval_s,
         timeout_s=timeout_s,
         log=lines.append,
+        faults=faults,
     )
     try:
         worker.run()
@@ -592,6 +752,27 @@ def _normalise_jobs(
     return jobs
 
 
+#: Exit codes :func:`run_prioritized` never respawns: a clean finish, the
+#: driver's own ``terminate()`` (``-SIGTERM``) and the worker's graceful
+#: SIGTERM unwind (``SystemExit(143)``) — only *unexpected* deaths count
+#: against a worker slot's failure budget.
+_NO_RESPAWN_EXITS = frozenset({0, 143, -int(signal.SIGTERM)})
+
+#: Supervisor poll cadence while a fleet is running.
+_SUPERVISE_POLL_S = 0.05
+
+
+@dataclass
+class _Slot:
+    """One supervised worker slot of a :func:`run_prioritized` fleet."""
+
+    proc: Optional[multiprocessing.process.BaseProcess]
+    failures: int = 0
+    restart_at: Optional[float] = None
+    done: bool = False
+    exit_codes: List[Optional[int]] = field(default_factory=list)
+
+
 def run_prioritized(
     grids: Union[Mapping[str, object], Sequence[GridJob]],
     store: Union[SweepStore, str, Path],
@@ -604,6 +785,9 @@ def run_prioritized(
     log_dir: Optional[Union[str, Path]] = None,
     report_path: Optional[Union[str, Path]] = "SWEEP_report.json",
     mp_context: Optional[str] = None,
+    max_worker_respawns: int = 2,
+    respawn_backoff_s: float = 0.5,
+    worker_faults: Optional[Mapping[int, object]] = None,
 ) -> PrioritizedRunResult:
     """Execute named grids in priority order over one shared store.
 
@@ -638,9 +822,37 @@ def run_prioritized(
     mp_context:
         Multiprocessing start method (``"fork"``/``"spawn"``); platform
         default when ``None``.
+    max_worker_respawns:
+        Per-slot failure budget of the supervisor: a worker process that
+        dies with an unexpected exit code (crash, injected fault,
+        SIGKILL) is respawned up to this many times, with exponential
+        backoff (``respawn_backoff_s * 2**(failures-1)``).  Clean exits,
+        graceful SIGTERM unwinds (143) and the driver's own terminate
+        are never respawned.  Respawned workers run fault-free — the
+        planned fault already happened; the replacement's job is
+        recovery — under a fresh owner id, so the dead worker's leases
+        expire rather than being mistaken for the replacement's.
+    respawn_backoff_s:
+        First-respawn backoff; doubles per subsequent failure of the
+        same slot.
+    worker_faults:
+        Optional ``{slot index: FaultPlan}`` mapping, forwarded to the
+        matching initial worker processes (chaos testing — see
+        ``benchmarks/test_chaos_recovery.py``).  Respawns never inherit
+        a plan.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if max_worker_respawns < 0:
+        raise ValueError("max_worker_respawns must be >= 0")
+    if respawn_backoff_s <= 0:
+        raise ValueError("respawn_backoff_s must be positive")
+    if worker_faults:
+        bad = sorted(i for i in worker_faults if not 0 <= int(i) < workers)
+        if bad:
+            raise ValueError(
+                f"worker_faults names slots {bad} outside 0..{workers - 1}"
+            )
     jobs = _normalise_jobs(grids)
     root = Path(store.path if isinstance(store, SweepStore) else store)
     root.mkdir(parents=True, exist_ok=True)
@@ -666,31 +878,98 @@ def run_prioritized(
         t0 = time.perf_counter()
         exit_codes: List[Optional[int]] = []
         if workers > 1:
-            procs = [
-                ctx.Process(
+            deadline = (
+                time.monotonic() + worker_timeout_s
+                if worker_timeout_s is not None
+                else None
+            )
+
+            def _spawn(slot_index: int, attempt: int, faults):
+                proc = ctx.Process(
                     target=_worker_entry,
                     args=(
                         job,
                         str(sub_store.path),
-                        f"{job.name}-w{i}-{uuid.uuid4().hex[:6]}",
+                        f"{job.name}-w{slot_index}-a{attempt}-"
+                        f"{uuid.uuid4().hex[:6]}",
                         lease_ttl_s,
                         poll_interval_s,
                         claim_chunk,
                         worker_timeout_s,
                         str(log_path) if log_path is not None else None,
+                        faults,
                     ),
-                    name=f"sweep-{job.name}-w{i}",
+                    name=f"sweep-{job.name}-w{slot_index}",
+                )
+                proc.start()
+                return proc
+
+            slots = [
+                _Slot(
+                    proc=_spawn(
+                        i,
+                        0,
+                        worker_faults.get(i) if worker_faults else None,
+                    )
                 )
                 for i in range(workers)
             ]
-            for proc in procs:
-                proc.start()
-            for proc in procs:
-                proc.join(worker_timeout_s)
-                if proc.is_alive():  # stuck worker: the serial pass takes over
-                    proc.terminate()
-                    proc.join()
-                exit_codes.append(proc.exitcode)
+            while True:
+                now = time.monotonic()
+                for i, slot in enumerate(slots):
+                    if slot.done:
+                        continue
+                    if slot.proc is not None:
+                        if slot.proc.is_alive():
+                            continue
+                        slot.proc.join()
+                        code = slot.proc.exitcode
+                        slot.exit_codes.append(code)
+                        slot.proc = None
+                        if code in _NO_RESPAWN_EXITS:
+                            slot.done = True
+                            continue
+                        slot.failures += 1
+                        if slot.failures > max_worker_respawns:
+                            slot.done = True
+                            lines.append(
+                                f"[driver] worker {i} exhausted its "
+                                f"{max_worker_respawns}-respawn budget "
+                                f"(exit codes {slot.exit_codes}); the "
+                                f"serial pass covers its keys"
+                            )
+                            continue
+                        backoff = respawn_backoff_s * 2 ** (slot.failures - 1)
+                        slot.restart_at = now + backoff
+                        lines.append(
+                            f"[driver] worker {i} died (exit {code}); "
+                            f"respawn {slot.failures}/{max_worker_respawns} "
+                            f"in {backoff:.2f}s"
+                        )
+                    elif (
+                        slot.restart_at is not None
+                        and now >= slot.restart_at
+                    ):
+                        # Respawns run fault-free under a fresh owner id:
+                        # the planned fault already happened, and the dead
+                        # worker's leases must expire, not be adopted.
+                        slot.restart_at = None
+                        slot.proc = _spawn(i, slot.failures, None)
+                if all(slot.done for slot in slots):
+                    break
+                if deadline is not None and now >= deadline:
+                    # Stuck fleet: the serial pass takes over.
+                    for slot in slots:
+                        if slot.proc is not None:
+                            if slot.proc.is_alive():
+                                slot.proc.terminate()
+                            slot.proc.join()
+                            slot.exit_codes.append(slot.proc.exitcode)
+                            slot.proc = None
+                        slot.done = True
+                    break
+                time.sleep(_SUPERVISE_POLL_S)
+            exit_codes = [c for slot in slots for c in slot.exit_codes]
         # Final pass — also the single-process mode.  On a store the fleet
         # completed this is a pure warm read (zero claims, zero day
         # tasks); after a crash it serially fills whatever holes are left,

@@ -45,6 +45,13 @@ from typing import Dict, List, Mapping, Optional, Type
 from ..core.config import FadewichConfig, MDConfig, REConfig
 from ..detectors import EmaMadDetector, KdeMdDetector, VarianceThresholdDetector
 from ..radio.channel import ChannelConfig
+from ..reliability.faults import (
+    STORE_CORRUPT,
+    STORE_FSYNC,
+    STORE_READ,
+    STORE_WRITE,
+    as_injector,
+)
 from ..radio.fading import QuiescentNoise, SkewLaplace
 from ..radio.geometry import Point
 from ..radio.office import OfficeLayout, Sensor, Workstation
@@ -58,6 +65,7 @@ __all__ = [
     "content_hash",
     "name_slug",
     "register_component",
+    "result_checksum",
     "SweepStore",
     "StoreStats",
 ]
@@ -67,7 +75,9 @@ _TYPE_KEY = "__type__"
 
 #: Version stamp written into every record; bumped when the record layout
 #: changes incompatibly, so old files read as stale instead of crashing.
-RECORD_FORMAT = 1
+#: Format 2 added the mandatory ``checksum`` field (SHA-256 of the result
+#: payload, verified on read).
+RECORD_FORMAT = 2
 
 # --------------------------------------------------------------------------- #
 # Component codec
@@ -217,9 +227,29 @@ def content_hash(*components) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def result_checksum(result) -> str:
+    """SHA-256 hex digest of a result payload's canonical JSON.
+
+    The integrity stamp of a store record: ``put`` computes it over the
+    JSON-normalised payload (so what is hashed is exactly what a reader
+    will parse back) and ``get`` recomputes it over the parsed payload —
+    any bitrot, torn write or hand-edit of the result block makes the two
+    disagree and the record is quarantined instead of trusted.
+    """
+    normalised = json.loads(json.dumps(result))
+    canonical = json.dumps(normalised, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 # --------------------------------------------------------------------------- #
 # The store
 # --------------------------------------------------------------------------- #
+
+#: Read-failure sentinels returned by ``SweepStore._load_raw``; distinct
+#: objects so ``None``-valued JSON can never masquerade as a failure.
+_MISSING = object()
+_IOERROR = object()
+_UNPARSEABLE = object()
 
 
 @dataclass
@@ -230,9 +260,12 @@ class StoreStats:
     could not be reused: a key (root seed, configuration content hash...)
     that did not match, an incompatible record ``format`` version, or a
     missing/mangled fingerprint or result block — the silent-reuse hazards
-    the key scheme exists to catch.  Every :meth:`SweepStore.get` lands in
-    exactly one of ``hits`` / ``misses`` / ``stale``, so
-    ``hits + misses + stale == lookups`` at all times.
+    the key scheme exists to catch.  ``corrupt`` counts records whose
+    *bytes* betrayed them — unparseable JSON or a result block failing
+    its checksum — which :meth:`SweepStore.get` quarantines to a
+    ``.corrupt`` file instead of silently re-reading as a miss on every
+    resume.  Every :meth:`SweepStore.get` lands in exactly one bucket, so
+    ``hits + misses + stale + corrupt == lookups`` at all times.
 
     All mutation goes through the ``count_*`` methods under one lock: a
     :class:`SweepStore` shared by several worker threads (the cooperative
@@ -243,6 +276,7 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     stale: int = 0
+    corrupt: int = 0
     writes: int = 0
     lookups: int = 0
     _lock: threading.Lock = field(
@@ -263,6 +297,11 @@ class StoreStats:
         with self._lock:
             self.lookups += 1
             self.stale += 1
+
+    def count_corrupt(self) -> None:
+        with self._lock:
+            self.lookups += 1
+            self.corrupt += 1
 
     def count_write(self) -> None:
         with self._lock:
@@ -285,6 +324,7 @@ class StoreStats:
                 hits=self.hits,
                 misses=self.misses,
                 stale=self.stale,
+                corrupt=self.corrupt,
                 writes=self.writes,
                 lookups=self.lookups,
             )
@@ -309,21 +349,47 @@ class SweepStore:
     returns ``None`` and the record stays on disk untouched (re-running the
     old sweep would find it again); ``put`` simply overwrites it.
 
-    Writes are atomic — the record is serialised to a temporary file in the
-    store directory and ``os.replace``-d into place — so a killed sweep
-    leaves either the old record or the new one, never a torn file.
-    Corrupted or foreign files read as misses, not crashes.
+    Writes are atomic and durable — the record is serialised to a
+    temporary file in the store directory, ``fsync``-ed, and
+    ``os.replace``-d into place — so a killed sweep leaves either the old
+    record or the new one, never a torn file.  Every record carries a
+    SHA-256 checksum of its result payload (:func:`result_checksum`),
+    verified on read: a record whose bytes fail to parse or whose payload
+    fails its checksum is *quarantined* — atomically renamed to a
+    ``.corrupt`` sibling for post-mortem inspection, counted in
+    :attr:`StoreStats.corrupt` — instead of being silently re-read (and
+    re-missed) on every resume.  Transient I/O errors, by contrast, read
+    as plain misses with the file left untouched: an EIO must never
+    destroy a good record.
+
+    ``faults`` (a :class:`~repro.reliability.FaultPlan` or
+    :class:`~repro.reliability.FaultInjector`) arms the reliability
+    layer's injection points — ``store.read`` / ``store.write`` /
+    ``store.fsync`` raise the ``OSError`` a failing disk would, and
+    ``store.corrupt`` mangles the serialised bytes on their way to disk —
+    all *inside* the production read/write paths, so what the chaos suite
+    exercises is exactly the code a real fault would hit.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, *, faults=None) -> None:
         self._path = Path(path)
         self._path.mkdir(parents=True, exist_ok=True)
         self.stats = StoreStats()
+        self._faults = as_injector(faults)
 
     # ------------------------------------------------------------------ #
     @property
     def path(self) -> Path:
         return self._path
+
+    @property
+    def faults(self):
+        """The armed :class:`~repro.reliability.FaultInjector` (or ``None``)."""
+        return self._faults
+
+    @faults.setter
+    def faults(self, value) -> None:
+        self._faults = as_injector(value)
 
     def reset_stats(self) -> None:
         self.stats = StoreStats()
@@ -366,38 +432,83 @@ class SweepStore:
             and isinstance(record.get("result"), dict)
         )
 
-    def _load_raw(self, name: str) -> Optional[Dict]:
-        """The parsed JSON at a scenario's path, or ``None`` if unreadable."""
+    def _load_raw(self, name: str):
+        """The parsed JSON at a scenario's path, or a failure sentinel.
+
+        Distinguishes the three ways a read can fail, because they demand
+        different handling: ``_MISSING`` (no file), ``_IOERROR``
+        (transient I/O failure — the file may be fine, leave it alone)
+        and ``_UNPARSEABLE`` (the bytes themselves are bad — quarantine).
+        """
         path = self.record_path(name)
+        if self._faults is not None:
+            spec = self._faults.fired(STORE_READ)
+            if spec is not None:
+                return _IOERROR
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+                text = handle.read()
+        except FileNotFoundError:
+            return _MISSING
+        except OSError:
+            return _IOERROR
+        try:
+            return json.loads(text)
+        except ValueError:
+            return _UNPARSEABLE
+
+    def quarantine_path(self, name: str) -> Path:
+        """Where a scenario's record lands if it is found corrupt."""
+        return self.record_path(name).with_suffix(".corrupt")
+
+    def corrupt_files(self) -> List[Path]:
+        """Quarantined record files currently in the store, sorted."""
+        return sorted(self._path.glob("*.corrupt"))
+
+    def _quarantine(self, name: str) -> None:
+        """Atomically move a corrupt record out of the record namespace.
+
+        The ``.corrupt`` sibling keeps the bytes for post-mortem while
+        freeing the slot, so the scenario recollects cleanly (a fresh
+        ``put`` just writes the record file anew).  Best-effort: if the
+        rename itself fails the record is left in place and will be
+        re-detected next read.
+        """
+        try:
+            os.replace(self.record_path(name), self.quarantine_path(name))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ #
     def get(self, name: str, key: Mapping) -> Optional[Dict]:
         """The stored result payload of a scenario, or ``None``.
 
-        ``None`` means either no record (miss) or an untrustworthy one
-        (stale) — the caller recomputes in both cases.  The counter
-        taxonomy partitions every lookup:
+        ``None`` means no record, an untrustworthy one, or a corrupt one
+        — the caller recomputes in all cases.  The counter taxonomy
+        partitions every lookup:
 
-        * **miss** — no file, unparseable JSON, or a file that is not one
-          of *this scenario's* records (non-dict payload, name mismatch —
-          a foreign file squatting on the slot);
+        * **miss** — no file, a transient I/O error (the file is left
+          untouched), or a file that is not one of *this scenario's*
+          records (non-dict payload, name mismatch — a foreign file
+          squatting on the slot);
         * **stale** — a record of the requested scenario that cannot be
           reused: written under a different key (root seed, configuration
           content hash...), an incompatible ``format`` version, or with a
           missing/mangled fingerprint or result block;
-        * **hit** — format, name, key and result all check out.
+        * **corrupt** — the record's *bytes* are bad: unparseable JSON,
+          or a result payload failing its SHA-256 checksum.  The file is
+          quarantined to ``.corrupt`` so the slot recollects cleanly;
+        * **hit** — format, name, key, result and checksum all check out.
         """
         record = self._load_raw(name)
-        if (
-            record is None
-            or not isinstance(record, dict)
-            or record.get("name") != name
-        ):
+        if record is _MISSING or record is _IOERROR:
+            self.stats.count_miss()
+            return None
+        if record is _UNPARSEABLE:
+            self._quarantine(name)
+            self.stats.count_corrupt()
+            return None
+        if not isinstance(record, dict) or record.get("name") != name:
             self.stats.count_miss()
             return None
         if (
@@ -407,25 +518,51 @@ class SweepStore:
         ):
             self.stats.count_stale()
             return None
+        if record.get("checksum") != result_checksum(record["result"]):
+            self._quarantine(name)
+            self.stats.count_corrupt()
+            return None
         self.stats.count_hit()
         return record["result"]
 
     def put(self, name: str, key: Mapping, result: Mapping) -> Path:
-        """Atomically persist one scenario's result payload."""
+        """Atomically and durably persist one scenario's result payload.
+
+        The record (with its payload checksum) is serialised to a temp
+        file, flushed and ``fsync``-ed, then ``os.replace``-d into place:
+        a crash at any instant leaves either the previous complete record
+        or the new one, and the new one only after its bytes are durable.
+        """
         record = {
             "format": RECORD_FORMAT,
             "name": name,
             "key": self._normalise_key(key),
             "result": result,
+            "checksum": result_checksum(result),
         }
         path = self.record_path(name)
+        if self._faults is not None:
+            spec = self._faults.fired(STORE_WRITE)
+            if spec is not None:
+                raise OSError(f"injected fault at {STORE_WRITE!r}")
+        text = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        if self._faults is not None:
+            spec = self._faults.fired(STORE_CORRUPT)
+            if spec is not None:
+                # Bitrot stand-in: publish only half the serialised bytes.
+                text = text[: len(text) // 2]
         fd, tmp_name = tempfile.mkstemp(
             prefix=path.stem + ".", suffix=".tmp", dir=self._path
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle, indent=2, sort_keys=True)
-                handle.write("\n")
+                handle.write(text)
+                handle.flush()
+                if self._faults is not None:
+                    spec = self._faults.fired(STORE_FSYNC)
+                    if spec is not None:
+                        raise OSError(f"injected fault at {STORE_FSYNC!r}")
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -264,6 +264,32 @@ class EmaMadEngine:
         self._down = np.nan
         self._active = False
 
+    def snapshot(self) -> dict:
+        """JSON-ready bounded state (``down`` may be NaN pre-calibration)."""
+        return {
+            "count": self._count,
+            "ema_last": self._ema_last,
+            "carry": self._carry.tolist(),
+            "calib": list(self._calib),
+            "eff": self._eff,
+            "down": self._down,
+            "active": self._active,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the mutable state from a :meth:`snapshot` dict."""
+        self._count = int(state["count"])
+        ema_last = state["ema_last"]
+        self._ema_last = None if ema_last is None else float(ema_last)
+        self._carry = np.ascontiguousarray(
+            np.asarray(state["carry"], dtype=float)
+        )
+        self._calib = [float(v) for v in state["calib"]]
+        eff = state["eff"]
+        self._eff = None if eff is None else float(eff)
+        self._down = float(state["down"])
+        self._active = bool(state["active"])
+
     def extend(self, values) -> Tuple[np.ndarray, np.ndarray]:
         """Consume one batch; return its (decisions, thresholds)."""
         det = self._det

@@ -128,6 +128,25 @@ class VarianceEngine:
         self._calib: List[float] = []
         self._eff: Optional[float] = None
 
+    def snapshot(self) -> dict:
+        """JSON-ready bounded state of the rolling-variance engine."""
+        return {
+            "count": self._count,
+            "carry": self._carry.tolist(),
+            "calib": list(self._calib),
+            "eff": self._eff,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the mutable state from a :meth:`snapshot` dict."""
+        self._count = int(state["count"])
+        self._carry = np.ascontiguousarray(
+            np.asarray(state["carry"], dtype=float)
+        )
+        self._calib = [float(v) for v in state["calib"]]
+        eff = state["eff"]
+        self._eff = None if eff is None else float(eff)
+
     def extend(self, values) -> Tuple[np.ndarray, np.ndarray]:
         """Consume one batch; return its (decisions, thresholds)."""
         batch = np.ascontiguousarray(values, dtype=float).ravel()

@@ -21,8 +21,15 @@ incremental engine:
   generator interleaving many tenants' batches in arrival order;
 * :class:`~repro.streaming.router.IngestRouter` — the ingestion front-end
   multiplexing many concurrent offices: per-tenant detector state,
-  round-robin sharded workers, bounded queues with backpressure, and a
-  clean drain/flush on shutdown that never reorders a tenant's decisions.
+  round-robin sharded workers, bounded queues with backpressure, a clean
+  drain/flush on shutdown that never reorders a tenant's decisions, and
+  configurable failure policies (``fail_fast`` / ``restart_shard`` from
+  per-batch checkpoints / ``quarantine`` with dead-letter records).
+
+Every stateful piece checkpoints: ``snapshot()``/``restore()`` round-trip
+the kernel's bounded state through JSON bit-exactly (see
+:mod:`repro.reliability`), so a killed stream resumed from a checkpoint
+is indistinguishable from one that never stopped.
 
 :meth:`~repro.core.system.FadewichSystem.replay_day` is a thin client of
 the same kernel: one recorded day is simply the whole stream delivered as
@@ -36,7 +43,13 @@ from .detector import (
     OnlineStdSum,
     WindowTracker,
 )
-from .router import IngestRouter, RouterStats, TenantState
+from .router import (
+    FAILURE_POLICIES,
+    DeadLetter,
+    IngestRouter,
+    RouterStats,
+    TenantState,
+)
 from .source import DayRecordingSource, SampleBatch, StreamSource, merge_by_time
 
 __all__ = [
@@ -52,4 +65,6 @@ __all__ = [
     "IngestRouter",
     "RouterStats",
     "TenantState",
+    "DeadLetter",
+    "FAILURE_POLICIES",
 ]

@@ -39,12 +39,27 @@ Per-sample cost is therefore O(``window_samples`` × ``n_streams``) — the
 reduction itself — and independent of how many samples the stream has
 already delivered; state is O(``window_samples`` × ``n_streams`` +
 profile window).
+
+Checkpoint/restore
+------------------
+
+Every piece exposes ``snapshot() -> dict`` / ``restore(state)``, and
+:class:`OnlineDetector` additionally a :meth:`OnlineDetector.from_snapshot`
+constructor.  Snapshots are plain JSON-serialisable dicts of the bounded
+state — and because python's ``json`` round-trips every float64 exactly
+(shortest-repr encode, exact decode, NaN/Infinity tokens included), a
+detector restored from a JSON-serialised snapshot continues the stream
+**bitwise identically** to one that was never interrupted, at any cut
+point (partial-window head included).  That is the property the
+reliability layer's kill/resume tests assert for every registered zoo
+engine, and what makes router shard restarts provably lossless.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -111,6 +126,26 @@ class OnlineStdSum:
     def reset(self) -> None:
         self._count = 0
         self._tails = [np.empty(0) for _ in range(self._k)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready bounded state: sample count + per-stream carry tails."""
+        return {
+            "count": self._count,
+            "tails": [tail.tolist() for tail in self._tails],
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Overwrite the mutable state from a :meth:`snapshot` dict."""
+        tails = state["tails"]
+        if len(tails) != self._k:
+            raise ValueError(
+                f"snapshot holds {len(tails)} stream tails, expected {self._k}"
+            )
+        self._count = int(state["count"])
+        self._tails = [
+            np.ascontiguousarray(np.asarray(tail, dtype=float))
+            for tail in tails
+        ]
 
     def extend(self, matrix: np.ndarray) -> np.ndarray:
         """Consume one ``(m, n_streams)`` batch; return its ``s_t`` values."""
@@ -206,6 +241,54 @@ class OnlineProfile:
         self._threshold = self._kde.percentile(
             100.0 - self._config.alpha, x0=self._threshold
         )
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready bounded state of the profile chain.
+
+        The pending segments are stored concatenated: the profile only
+        ever reads them through ``np.concatenate`` at a batch boundary,
+        so restoring them as a single segment is value- (hence bitwise-)
+        equivalent.  The KDE is captured as its data window plus the
+        resolved float bandwidth — restoring with the explicit bandwidth
+        sidesteps any re-derivation.
+        """
+        pending = (
+            np.concatenate(self._pending).tolist() if self._pending else []
+        )
+        return {
+            "init_buffer": list(self._init_buffer),
+            "kde": (
+                None
+                if self._kde is None
+                else {
+                    "data": self._kde.data.tolist(),
+                    "bandwidth": self._kde.bandwidth,
+                }
+            ),
+            "threshold": self._threshold,
+            "pending": pending,
+            "pending_count": self._pending_count,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Overwrite the mutable state from a :meth:`snapshot` dict."""
+        self._init_buffer = [float(v) for v in state["init_buffer"]]
+        kde_state = state["kde"]
+        if kde_state is None:
+            self._kde = None
+        else:
+            self._kde = GaussianKDE(
+                np.asarray(kde_state["data"], dtype=float),
+                bandwidth=float(kde_state["bandwidth"]),
+            )
+        threshold = state["threshold"]
+        self._threshold = None if threshold is None else float(threshold)
+        pending = np.ascontiguousarray(
+            np.asarray(state["pending"], dtype=float)
+        )
+        self._pending = [pending] if pending.size else []
+        self._pending_count = int(state["pending_count"])
 
     # ------------------------------------------------------------------ #
     def extend(self, values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -305,6 +388,25 @@ class WindowTracker:
         if self._window_start is None:
             return 0.0
         return max(t - self._window_start, 0.0)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready automaton state: open window + completed windows."""
+        return {
+            "window_start": self._window_start,
+            "last_anomalous_t": self._last_anomalous_t,
+            "completed": [[w.t_start, w.t_end] for w in self._completed],
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Overwrite the mutable state from a :meth:`snapshot` dict."""
+        start = state["window_start"]
+        last = state["last_anomalous_t"]
+        self._window_start = None if start is None else float(start)
+        self._last_anomalous_t = None if last is None else float(last)
+        self._completed = [
+            VariationWindow(float(s), float(e)) for s, e in state["completed"]
+        ]
 
     # ------------------------------------------------------------------ #
     def update(self, t: float, anomalous: bool) -> float:
@@ -466,6 +568,75 @@ class OnlineDetector:
     def finalize(self) -> None:
         """Close any open variation window at the end of the stream."""
         self._windows.finalize()
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-ready checkpoint of the whole kernel.
+
+        Self-describing: carries the construction parameters (stream ids,
+        config, rate, detector spec) alongside the mutable state of every
+        sub-engine, so :meth:`from_snapshot` rebuilds an equivalent
+        detector from the dict alone.  Round-tripping the dict through
+        ``json`` preserves every float bit-for-bit, so the restored
+        detector's future output is bitwise identical to this one's.
+        """
+        engine = self._profile
+        if not callable(getattr(engine, "snapshot", None)):
+            raise TypeError(
+                f"decision engine {type(engine).__name__} does not implement "
+                "snapshot(); checkpointing requires snapshot()/restore()"
+            )
+        if self._detector is None:
+            det_spec = None
+        else:
+            det_spec = {
+                "name": self._detector.name,
+                "config": dataclasses.asdict(self._detector),
+            }
+        return {
+            "format": 1,
+            "stream_ids": list(self._stream_ids),
+            "sample_rate_hz": self._rate,
+            "config": dataclasses.asdict(self._config),
+            "detector": det_spec,
+            "std": self._std.snapshot(),
+            "engine": engine.snapshot(),
+            "windows": self._windows.snapshot(),
+            "last_t": self._last_t,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Mapping[str, Any]) -> "OnlineDetector":
+        """Rebuild a detector mid-stream from a :meth:`snapshot` dict."""
+        fmt = state.get("format")
+        if fmt != 1:
+            raise ValueError(f"unsupported detector snapshot format: {fmt!r}")
+        detector: Optional[object] = None
+        det_spec = state["detector"]
+        if det_spec is not None:
+            from ..detectors import get_detector  # local: optional layer
+
+            detector = type(get_detector(det_spec["name"]))(
+                **det_spec["config"]
+            )
+        inst = cls(
+            state["stream_ids"],
+            MDConfig(**state["config"]),
+            float(state["sample_rate_hz"]),
+            detector=detector,
+        )
+        engine = inst._profile
+        if not callable(getattr(engine, "restore", None)):
+            raise TypeError(
+                f"decision engine {type(engine).__name__} does not implement "
+                "restore(); checkpointing requires snapshot()/restore()"
+            )
+        inst._std.restore(state["std"])
+        engine.restore(state["engine"])
+        inst._windows.restore(state["windows"])
+        last_t = state["last_t"]
+        inst._last_t = None if last_t is None else float(last_t)
+        return inst
 
     # ------------------------------------------------------------------ #
     def process_block(

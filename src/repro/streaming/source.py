@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Union
 import numpy as np
 
 from ..radio.trace import RssiTrace
+from ..reliability.faults import SOURCE_DROP_BATCH, as_injector
 from ..simulation.collector import DayRecording
 
 __all__ = [
@@ -113,6 +114,15 @@ class DayRecordingSource(StreamSource):
     batch_samples:
         Samples per batch (the last batch may be shorter).  ``1`` replays
         the day sample by sample, the way a live collector at 4 Hz would.
+    faults:
+        Optional :class:`~repro.reliability.FaultPlan` /
+        :class:`~repro.reliability.FaultInjector` — enables the
+        ``source.drop_batch`` point: a firing occurrence silently drops
+        that batch in transit (the lossy-radio-uplink hazard), counted in
+        :attr:`dropped_batches`.  Downstream detectors keep working —
+        timestamps stay strictly increasing across a gap — but their
+        outputs reflect the loss, which is exactly what loss-tolerance
+        tests need to observe.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class DayRecordingSource(StreamSource):
         *,
         stream_ids: Optional[Sequence[str]] = None,
         batch_samples: int = 256,
+        faults: Optional[object] = None,
     ) -> None:
         if batch_samples < 1:
             raise ValueError("batch_samples must be >= 1")
@@ -132,6 +143,8 @@ class DayRecordingSource(StreamSource):
         )
         self._trace = trace.restricted_view(self.stream_ids)
         self._batch_samples = int(batch_samples)
+        self._faults = as_injector(faults)
+        self.dropped_batches = 0
 
     @property
     def n_samples(self) -> int:
@@ -146,6 +159,12 @@ class DayRecordingSource(StreamSource):
         step = self._batch_samples
         for lo in range(0, n, step):
             hi = min(lo + step, n)
+            if (
+                self._faults is not None
+                and self._faults.fired(SOURCE_DROP_BATCH) is not None
+            ):
+                self.dropped_batches += 1
+                continue
             yield SampleBatch(
                 tenant=self.tenant,
                 times=trace.times[lo:hi],

@@ -160,7 +160,8 @@ class TestSweepStore:
         assert store.names() == ["a/b/r0"]
         assert len(store) == 1
         assert store.stats.as_dict() == {
-            "hits": 1, "misses": 1, "stale": 0, "writes": 1, "lookups": 2,
+            "hits": 1, "misses": 1, "stale": 0, "corrupt": 0,
+            "writes": 1, "lookups": 2,
         }
 
     def test_mismatched_key_is_stale_not_served(self, tmp_path):
@@ -191,15 +192,60 @@ class TestSweepStore:
         assert store.clear() == 1
         assert len(store) == 0
 
-    def test_corrupted_record_reads_as_miss(self, tmp_path):
+    def test_unparseable_record_quarantined(self, tmp_path):
+        # Bad bytes are not a miss: the record is counted corrupt and
+        # moved aside to a .corrupt file, so the slot recollects cleanly
+        # instead of re-reading the same bad file on every resume.
         store = SweepStore(tmp_path)
         store.put("a", self.KEY, self.PAYLOAD)
         store.record_path("a").write_text("{not json", encoding="utf-8")
         assert store.get("a", self.KEY) is None
+        assert store.stats.corrupt == 1 and store.stats.misses == 0
+        assert not store.record_path("a").exists()
+        assert store.quarantine_path("a").read_text() == "{not json"
+        assert store.corrupt_files() == [store.quarantine_path("a")]
         assert store.names() == []
-        # Overwriting repairs it.
+        # A fresh put repairs the slot (the quarantined bytes remain for
+        # post-mortem).
         store.put("a", self.KEY, self.PAYLOAD)
         assert store.get("a", self.KEY) == self.PAYLOAD
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        # A parseable record whose result block was tampered with (or
+        # bit-rotted) fails its SHA-256 and is quarantined — it must not
+        # be served as a hit, nor linger to be re-read forever.
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        path = store.record_path("a")
+        record = json.loads(path.read_text())
+        record["result"]["n_events"] = 99  # silent flip, checksum stays old
+        path.write_text(json.dumps(record), encoding="utf-8")
+        assert store.get("a", self.KEY) is None
+        assert store.stats.corrupt == 1 and store.stats.stale == 0
+        assert not path.exists()
+        assert store.quarantine_path("a").exists()
+
+    def test_missing_checksum_field_is_corrupt(self, tmp_path):
+        store = SweepStore(tmp_path)
+        store.put("a", self.KEY, self.PAYLOAD)
+        self._mangle(store, "a", lambda r: r.pop("checksum"))
+        assert store.get("a", self.KEY) is None
+        assert store.stats.corrupt == 1
+
+    def test_io_error_is_a_miss_and_leaves_the_file(self, tmp_path):
+        # A transient read error (injected through the store.read seam)
+        # must not quarantine a perfectly good record.
+        from repro.reliability import FaultPlan, FaultSpec, STORE_READ
+
+        store = SweepStore(
+            tmp_path,
+            faults=FaultPlan.of(FaultSpec(point=STORE_READ, hits=(0,))),
+        )
+        store.put("a", self.KEY, self.PAYLOAD)
+        assert store.get("a", self.KEY) is None  # injected EIO
+        assert store.stats.misses == 1 and store.stats.corrupt == 0
+        assert store.record_path("a").exists()
+        assert store.get("a", self.KEY) == self.PAYLOAD  # next read is fine
 
     def _mangle(self, store, name, mutate):
         path = store.record_path(name)
@@ -215,7 +261,8 @@ class TestSweepStore:
         self._mangle(store, "a", lambda r: r.pop("key"))
         assert store.get("a", self.KEY) is None
         assert store.stats.as_dict() == {
-            "hits": 0, "misses": 0, "stale": 1, "writes": 1, "lookups": 1,
+            "hits": 0, "misses": 0, "stale": 1, "corrupt": 0,
+            "writes": 1, "lookups": 1,
         }
 
     def test_old_format_version_is_stale(self, tmp_path):
@@ -247,10 +294,10 @@ class TestSweepStore:
         assert store.get("a", self.KEY) is None
         assert store.stats.misses == 2 and store.stats.stale == 0
 
-    def test_lookups_partition_into_hits_misses_stale(self, tmp_path):
-        # Every get() lands in exactly one counter, so the three always
+    def test_lookups_partition_into_hits_misses_stale_corrupt(self, tmp_path):
+        # Every get() lands in exactly one counter, so the four always
         # sum to the number of lookups — whatever mix of good, mangled,
-        # foreign and absent records the store holds.
+        # corrupt, foreign and absent records the store holds.
         store = SweepStore(tmp_path)
         store.put("good", self.KEY, self.PAYLOAD)
         store.put("mangled", self.KEY, self.PAYLOAD)
@@ -260,9 +307,14 @@ class TestSweepStore:
         for name in ("good", "mangled", "wrong-key", "corrupt", "absent"):
             store.get(name, self.KEY)
         stats = store.stats
-        assert stats.hits + stats.misses + stats.stale == 5 == stats.lookups
+        assert (
+            stats.hits + stats.misses + stats.stale + stats.corrupt
+            == 5
+            == stats.lookups
+        )
         assert stats.as_dict() == {
-            "hits": 1, "misses": 2, "stale": 2, "writes": 3, "lookups": 5,
+            "hits": 1, "misses": 1, "stale": 2, "corrupt": 1,
+            "writes": 3, "lookups": 5,
         }
 
     def test_writes_are_atomic_no_temp_leftovers(self, tmp_path):
@@ -272,6 +324,52 @@ class TestSweepStore:
         leftovers = [p for p in store.path.iterdir() if p.suffix != ".json"]
         assert leftovers == []
         assert store.get("a", self.KEY) == {"v": 4}
+
+    def test_injected_write_and_fsync_failures_leave_store_intact(
+        self, tmp_path
+    ):
+        # Write-path faults must abort the put cleanly: the previous
+        # record survives, no temp files leak, and the next put succeeds.
+        from repro.reliability import (
+            FaultPlan, FaultSpec, STORE_FSYNC, STORE_WRITE,
+        )
+
+        store = SweepStore(
+            tmp_path,
+            faults=FaultPlan.of(
+                FaultSpec(point=STORE_WRITE, hits=(1,)),
+                # Each point counts its own occurrences; the write-fault
+                # put never reaches fsync, so the faulty fsync is the
+                # point's second occurrence, not its third.
+                FaultSpec(point=STORE_FSYNC, hits=(1,)),
+            ),
+        )
+        store.put("a", self.KEY, {"v": 0})
+        with pytest.raises(OSError, match="store.write"):
+            store.put("a", self.KEY, {"v": 1})
+        with pytest.raises(OSError, match="store.fsync"):
+            store.put("a", self.KEY, {"v": 2})
+        assert store.get("a", self.KEY) == {"v": 0}
+        leftovers = [p for p in store.path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+        store.put("a", self.KEY, {"v": 3})
+        assert store.get("a", self.KEY) == {"v": 3}
+
+    def test_injected_corruption_detected_on_next_read(self, tmp_path):
+        # store.corrupt mangles the bytes en route to disk; the checksum
+        # path must catch it on the next read and quarantine the file.
+        from repro.reliability import FaultPlan, FaultSpec, STORE_CORRUPT
+
+        store = SweepStore(
+            tmp_path,
+            faults=FaultPlan.of(FaultSpec(point=STORE_CORRUPT, hits=(0,))),
+        )
+        store.put("a", self.KEY, self.PAYLOAD)
+        assert store.get("a", self.KEY) is None
+        assert store.stats.corrupt == 1
+        assert store.quarantine_path("a").exists()
+        store.put("a", self.KEY, self.PAYLOAD)  # occurrence 1: clean
+        assert store.get("a", self.KEY) == self.PAYLOAD
 
 
 class TestNameSlug:
@@ -378,7 +476,8 @@ class TestStoreStatsConcurrency:
         stats.count_hit()
         stats.reclassify_hit_as_stale()
         assert stats.as_dict() == {
-            "hits": 1, "misses": 0, "stale": 1, "writes": 0, "lookups": 2,
+            "hits": 1, "misses": 0, "stale": 1, "corrupt": 0,
+            "writes": 0, "lookups": 2,
         }
 
 
