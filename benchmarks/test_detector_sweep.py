@@ -28,6 +28,7 @@ override); ``--paper-scale`` runs full 8-hour days.  Both timed sides
 run as the best of ``--bench-repeats``.
 """
 
+import numpy as np
 import pytest
 
 from repro.analysis.campaign import CampaignScale
@@ -39,10 +40,18 @@ from repro.detectors import (
     KdeMdDetector,
     VarianceThresholdDetector,
 )
+from repro.detectors.ema_mad import (
+    _dense_window_median_mad,
+    _sorted_window_median_mad,
+)
 from repro.radio.office import paper_office, wide_office
 
 #: Maximum tolerated ratio of the 3-detector sweep to the KDE-only sweep.
 MAX_DETECTOR_OVERHEAD = 1.5
+
+#: Minimum speedup of the sorted-window rolling median/MAD over the dense
+#: ``np.median`` path at a large long window (measured ~2.5-4x at 481).
+MIN_SORTED_MEDIAN_SPEEDUP = 1.5
 
 SWEEP_SEED = 23
 
@@ -114,6 +123,39 @@ def test_detector_sweep_overhead(request, best_of, speedup_gate):
         reference_name="KDE-only sweep",
         fast_name="3-detector zoo",
         detail=f"{len(zoo_grid)} scenarios sharing 1 recording, serial",
+    )
+
+
+def test_sorted_window_median_gate(best_of, speedup_gate):
+    """The sorted-window rolling median/MAD must beat dense at large windows.
+
+    ``EmaMadDetector`` dispatches its full-window median/MAD to an
+    indexable sorted list once ``long_window`` reaches the measured
+    crossover; this gate locks the large-window win in — and asserts the
+    two paths are bitwise identical on the benchmarked series, so the
+    timing can never pass on divergent numbers.  (At the default
+    ``long_window=120`` the dense path is kept — that regime is covered
+    by the detector-overhead gate above.)
+    """
+    w = 481
+    rng = np.random.default_rng(SWEEP_SEED)
+    # Rounded values force heavy ties — the adversarial case for order
+    # statistics on a sorted window.
+    series = np.round(rng.normal(2.0, 1.0, 20_000), 1)
+
+    t_dense, dense = best_of(lambda: _dense_window_median_mad(series, w))
+    t_sorted, fast = best_of(lambda: _sorted_window_median_mad(series, w))
+    assert np.array_equal(dense[0], fast[0])
+    assert np.array_equal(dense[1], fast[1])
+
+    speedup_gate(
+        "sorted-window rolling median/MAD",
+        t_dense,
+        t_sorted,
+        MIN_SORTED_MEDIAN_SPEEDUP,
+        reference_name="dense np.median windows",
+        fast_name="indexable sorted window",
+        detail=f"window {w}, {series.size} samples, bitwise-identical",
     )
 
 

@@ -17,7 +17,11 @@ substrates its evaluation needs:
 * :mod:`repro.streaming` — the incremental detection engine (bounded-state
   online kernel, stream sources, multi-tenant ingestion router),
 * :mod:`repro.reliability` — deterministic fault injection and
-  checkpoint/restore for the streaming and sweep stacks.
+  checkpoint/restore for the streaming and sweep stacks,
+* :mod:`repro.features` — the reusable feature pipeline (extractor
+  registry, content fingerprints, per-recording cached store),
+* :mod:`repro.zones` — zone-occupancy inference from per-link
+  attenuation, offline and streaming.
 
 Quickstart
 ----------
@@ -40,8 +44,16 @@ from .detectors import (
     get_detector,
     register_detector,
 )
+from .features import FeatureStore, RollingStdExtractor, extractor_fingerprint
 from .radio.office import OfficeLayout, paper_office, wide_office
 from .reliability import CheckpointStore, FaultInjector, FaultPlan, FaultSpec
+from .zones import (
+    AttenuationExtractor,
+    ZoneEngine,
+    ZoneMap,
+    ZoneOccupancyEstimator,
+    score_walks,
+)
 from .analysis.sweep_queue import SweepWorker, run_prioritized
 from .simulation.collector import CampaignCollector, CampaignRecording
 from .simulation.runner import CampaignRunner, DayTask
@@ -119,9 +131,27 @@ from .streaming import IngestRouter, OnlineDetector
 # results whose lease was stolen mid-collect; IngestRouter grows
 # fail_fast / restart_shard (per-batch checkpoints) / quarantine
 # (dead-letter records) failure policies with per-shard counters.
-__version__ = "2.8.0"
+# 2.9.0: reusable feature store + zone-occupancy inference workload —
+# repro.features (frozen-config extractor registry with SHA-256 content
+# fingerprints; FeatureStore caches per-day (times, matrix, columns)
+# blocks per recording keyed (fingerprint, day index) with
+# identity-validated day membership; CampaignStdFeatures re-expressed as
+# the rolling_std extractor bit-identically — no goldens re-pinned) and
+# repro.zones (ZoneMap from Liang-Barsky link-crossing geometry,
+# AttenuationExtractor against the log-distance baseline,
+# ZoneOccupancyEstimator — rolling-mean smoothing, per-link median
+# calibration, rectified excess, exclusivity-weighted zone scores —
+# with a bounded-state ZoneEngine bitwise-identical under arbitrary
+# batch splits, JSON-snapshotable, hosted per-tenant by OnlineDetector /
+# IngestRouter; score_walks against ground-truth trajectories, seed-42
+# goldens pinned); zone accuracy threaded through ScenarioSweepRunner
+# (zone_estimator=, zone_accuracy payloads, zone_summary, feature/zone
+# store-key fingerprints); EmaMadDetector long-window median/MAD
+# dispatches to an indexable sorted window past the measured crossover.
+__version__ = "2.9.0"
 
 __all__ = [
+    "AttenuationExtractor",
     "CampaignCollector",
     "CampaignRecording",
     "CampaignRunner",
@@ -133,21 +163,28 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FeatureStore",
     "IngestRouter",
     "KdeMdDetector",
     "MDConfig",
     "OfficeLayout",
     "OnlineDetector",
     "REConfig",
+    "RollingStdExtractor",
     "SweepWorker",
     "VarianceThresholdDetector",
+    "ZoneEngine",
+    "ZoneMap",
+    "ZoneOccupancyEstimator",
     "__version__",
     "detector_names",
+    "extractor_fingerprint",
     "get_detector",
     "paper_office",
     "quick_campaign",
     "register_detector",
     "run_prioritized",
+    "score_walks",
     "wide_office",
 ]
 

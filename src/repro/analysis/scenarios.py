@@ -72,6 +72,8 @@ import numpy as np
 from ..core.config import FadewichConfig
 from ..core.evaluation import CampaignStdFeatures
 from ..detectors import KdeMdDetector, get_detector
+from ..features.base import extractor_fingerprint
+from ..features.rolling import RollingStdExtractor
 from ..radio.channel import ChannelConfig
 from ..radio.office import OfficeLayout
 from ..simulation.collector import (
@@ -81,6 +83,7 @@ from ..simulation.collector import (
     derive_seed_sequence,
 )
 from ..simulation.runner import CampaignRunner, DayTask
+from ..zones.estimator import ZoneAccuracy, ZoneOccupancyEstimator, score_walks
 from .campaign import AnalysisContext, CampaignScale
 from .md_performance import MDTableRow
 from .sweep_store import (
@@ -409,6 +412,7 @@ class ScenarioResult:
     n_departures: int
     md_rows: List[MDTableRow]
     re_accuracies: Dict[int, float] = field(default_factory=dict)
+    zone_accuracy: Optional[Dict[str, float]] = None
     recording: Optional[CampaignRecording] = None
 
     def best_f_measure(self) -> Optional[Tuple[int, float]]:
@@ -441,6 +445,11 @@ class ScenarioResult:
             "re_accuracy": {
                 str(n): float(acc) for n, acc in self.re_accuracies.items()
             },
+            "zone_accuracy": (
+                None
+                if self.zone_accuracy is None
+                else {k: v for k, v in self.zone_accuracy.items()}
+            ),
         }
 
     @staticmethod
@@ -460,6 +469,11 @@ class ScenarioResult:
                 int(n): float(acc)
                 for n, acc in dict(data.get("re_accuracy", {})).items()
             },
+            zone_accuracy=(
+                None
+                if data.get("zone_accuracy") is None
+                else dict(data["zone_accuracy"])
+            ),
             recording=None,
         )
 
@@ -625,6 +639,21 @@ class SweepReport:
                 rows.append(entry)
         return rows
 
+    def zone_summary(self) -> List[Dict[str, object]]:
+        """Per-scenario zone-occupancy accuracy, where the workload ran.
+
+        One row per scenario carrying a :attr:`ScenarioResult.zone_accuracy`
+        payload; empty when the sweep ran without a zone estimator.
+        """
+        rows: List[Dict[str, object]] = []
+        for result in self.results:
+            if result.zone_accuracy is None:
+                continue
+            rows.append(
+                {"scenario": result.spec.name, **result.zone_accuracy}
+            )
+        return rows
+
     def detector_names(self) -> List[str]:
         """Sorted distinct detector labels appearing in the results."""
         return sorted({result.spec.detector_name for result in self.results})
@@ -689,6 +718,10 @@ class SweepReport:
             "cell_statistics": [
                 {key: _json_value(value) for key, value in row.items()}
                 for row in self.cell_statistics()
+            ],
+            "zone_summary": [
+                {key: _json_value(value) for key, value in row.items()}
+                for row in self.zone_summary()
             ],
             "detector_comparison": [
                 {
@@ -762,6 +795,13 @@ class SweepReport:
                 )
             for n, acc in sorted(result.re_accuracies.items()):
                 lines.append(f"RE accuracy ({n} sensors): {acc:.3f}")
+            if result.zone_accuracy is not None:
+                za = result.zone_accuracy
+                lines.append(
+                    f"zone accuracy: {za['accuracy']:.3f} "
+                    f"(coverage {za['coverage']:.3f} over "
+                    f"{int(za['n_instants'])} instants)"
+                )
             best = result.best_f_measure()
             if best is None:
                 lines.append("no applicable sensor counts for this layout")
@@ -908,6 +948,16 @@ class ScenarioSweepRunner:
         recordings are never *persisted*: results loaded from a
         :class:`~repro.analysis.sweep_store.SweepStore` always have
         ``recording=None``, whatever this flag says (see :meth:`run`).
+    zone_estimator:
+        Optional :class:`~repro.zones.estimator.ZoneOccupancyEstimator`:
+        every freshly analysed scenario additionally runs the
+        zone-occupancy workload over its recording, scored against the
+        re-derived ground-truth walks
+        (:meth:`~repro.simulation.collector.CampaignCollector.day_walks`),
+        and carries the counts as :attr:`ScenarioResult.zone_accuracy`.
+        The estimator's content hash joins :meth:`store_key`, so adding,
+        removing or retuning it invalidates stored records instead of
+        silently reusing them.
     """
 
     def __init__(
@@ -920,6 +970,7 @@ class ScenarioSweepRunner:
         analysis_seed: int = 0,
         re_sensor_counts: Optional[Sequence[int]] = None,
         keep_recordings: bool = True,
+        zone_estimator: Optional[ZoneOccupancyEstimator] = None,
     ) -> None:
         if isinstance(grid, ScenarioGrid):
             self._grid: Optional[ScenarioGrid] = grid
@@ -942,6 +993,7 @@ class ScenarioSweepRunner:
             else None
         )
         self._keep_recordings = keep_recordings
+        self._zone_estimator = zone_estimator
         self.last_run_stats: Optional[SweepRunStats] = None
         self._last_collect_task_count = 0
         # Explicit spec lists bypass ScenarioGrid's validation, so enforce
@@ -1117,14 +1169,65 @@ class ScenarioSweepRunner:
         else:
             re_counts = [n for n in self._re_sensor_counts if n in set(counts)]
         re_accuracies = {n: context.re_accuracy(n) for n in re_counts}
+        zone_accuracy = None
+        if self._zone_estimator is not None:
+            zone_accuracy = self._zone_accuracy(
+                spec, recording, features=features
+            )
         return ScenarioResult(
             spec=spec,
             n_events=recording.total_labelled_events(),
             n_departures=recording.total_departures(),
             md_rows=md_rows,
             re_accuracies=re_accuracies,
+            zone_accuracy=zone_accuracy,
             recording=recording if self._keep_recordings else None,
         )
+
+    def _zone_accuracy(
+        self,
+        spec: ScenarioSpec,
+        recording: CampaignRecording,
+        features: Optional[CampaignStdFeatures] = None,
+    ) -> Dict[str, float]:
+        """Score the zone workload on one recording against ground truth.
+
+        Rebuilds the scenario's collector and schedule from its derived
+        seed — the exact deterministic plan the recording was collected
+        under — so :meth:`~repro.simulation.collector.CampaignCollector.
+        day_walks` yields the true trajectories without re-simulating any
+        radio.  When ``features`` is given, its
+        :class:`~repro.features.store.FeatureStore` is shared, so the
+        attenuation matrices are cached next to the detection features.
+        """
+        estimator = self._zone_estimator
+        assert estimator is not None
+        scenario_seed = self.scenario_seed(spec)
+        collector = CampaignCollector(
+            spec.layout,
+            channel_config=spec.channel_config,
+            seed=scenario_seed,
+        )
+        schedule = collector.make_schedule(
+            spec.scale.n_days,
+            spec.scale.day_duration_s,
+            spec.scale.profiles_for(spec.layout),
+        )
+        base = collector.next_generated_base()
+        store = features.store if features is not None else None
+        total = ZoneAccuracy()
+        for day, day_schedule in zip(recording.days, schedule.days):
+            times, grid = estimator.day_grid(day, spec.layout, store=store)
+            walks = collector.day_walks(day_schedule, seed_base=base)
+            trajectories = [
+                traj
+                for walk_list in walks.values()
+                for (_, traj, _) in walk_list
+            ]
+            total = total + score_walks(
+                estimator.zone_map, times, grid.occupied, trajectories
+            )
+        return total.to_dict()
 
     def store_key(self, spec: ScenarioSpec) -> Dict[str, object]:
         """The staleness fingerprint of one scenario's store record.
@@ -1162,6 +1265,18 @@ class ScenarioSweepRunner:
                 else None
             ),
             "content_hash": spec.content_hash(),
+            # Feature-pipeline identity: the fingerprint of the extractor
+            # the analysis features resolve to, plus the zone workload (or
+            # its absence).  A retuned extractor or estimator can never
+            # silently reuse records computed under the old definition.
+            "features": extractor_fingerprint(
+                RollingStdExtractor(std_window_s=spec.config.md.std_window_s)
+            ),
+            "zones": (
+                None
+                if self._zone_estimator is None
+                else content_hash(self._zone_estimator)
+            ),
         }
 
     def _load_stored(

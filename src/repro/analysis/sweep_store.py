@@ -44,6 +44,7 @@ from typing import Dict, List, Mapping, Optional, Type
 
 from ..core.config import FadewichConfig, MDConfig, REConfig
 from ..detectors import EmaMadDetector, KdeMdDetector, VarianceThresholdDetector
+from ..features.rolling import RollingStdExtractor
 from ..radio.channel import ChannelConfig
 from ..reliability.faults import (
     STORE_CORRUPT,
@@ -57,6 +58,9 @@ from ..radio.geometry import Point
 from ..radio.office import OfficeLayout, Sensor, Workstation
 from ..radio.pathloss import FreeSpacePathLoss, LogDistancePathLoss
 from ..radio.shadowing import BodyShadowingModel
+from ..zones.attenuation import AttenuationExtractor
+from ..zones.estimator import ZoneOccupancyEstimator
+from ..zones.map import Zone, ZoneMap
 from .campaign import CampaignScale
 
 __all__ = [
@@ -106,6 +110,11 @@ _COMPONENT_TYPES: Dict[str, Type] = {
         KdeMdDetector,
         EmaMadDetector,
         VarianceThresholdDetector,
+        RollingStdExtractor,
+        AttenuationExtractor,
+        Zone,
+        ZoneMap,
+        ZoneOccupancyEstimator,
     )
 }
 

@@ -47,6 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..features.rolling import RollingStdExtractor
+from ..features.store import FeatureStore
 from ..mobility.events import EventKind, GroundTruthEvent
 from ..ml.metrics import DetectionCounts
 from ..ml.validation import stratified_fold_assignments, stratified_kfold_indices
@@ -59,7 +61,6 @@ from .movement import (
     OfflineMDResult,
     detect_offline,
     detect_offline_scalar,
-    rolling_std_matrix,
     run_profile_grid,
     variation_windows_from_flags,
 )
@@ -167,32 +168,39 @@ class CampaignStdFeatures:
 
     For every day, the per-stream rolling standard deviations over *all*
     recorded streams are computed once
-    (:func:`~repro.core.movement.rolling_std_matrix`); any sensor subset's
+    (:class:`~repro.features.rolling.RollingStdExtractor` — the identical
+    expression this class historically inlined); any sensor subset's
     ``s_t`` series is then a column-subset sum — bit-identical to
     recomputing the rolling statistics on the restricted trace, at a
     fraction of the cost.  :func:`evaluate_md` and :func:`evaluate_md_grid`
     share one instance across sensor counts.
+
+    Blocks live in a :class:`~repro.features.store.FeatureStore`; pass
+    ``store=`` to share one store (and its cache) with other extractors
+    over the same recording.  The store validates day membership, so a
+    day from a different campaign can no longer alias this recording's
+    matrices by sharing a ``day_index``.
     """
 
-    def __init__(self, recording: CampaignRecording, config: FadewichConfig) -> None:
+    def __init__(
+        self,
+        recording: CampaignRecording,
+        config: FadewichConfig,
+        *,
+        store: Optional[FeatureStore] = None,
+    ) -> None:
+        if store is not None and store.recording is not recording:
+            raise ValueError("feature store is bound to a different recording")
         self.recording = recording
         self.config = config
-        self._days: Dict[int, Tuple[np.ndarray, np.ndarray, Dict[str, int]]] = {}
+        self.store = store if store is not None else FeatureStore(recording)
+        self._extractor = RollingStdExtractor(std_window_s=config.md.std_window_s)
 
     def day_matrix(
         self, day: DayRecording
     ) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
         """``(times, std_matrix, column_of_stream)`` of one day, cached."""
-        if day.day_index not in self._days:
-            trace = day.trace
-            rate = 1.0 / trace.sample_interval
-            window_samples = max(
-                int(round(self.config.md.std_window_s * rate)), 2
-            )
-            times, matrix = rolling_std_matrix(trace, window_samples)
-            columns = {sid: j for j, sid in enumerate(trace.stream_ids)}
-            self._days[day.day_index] = (times, matrix, columns)
-        return self._days[day.day_index]
+        return self.store.day_block(self._extractor, day)
 
     def std_sums(
         self, day: DayRecording, stream_ids: Sequence[str]

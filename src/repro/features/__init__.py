@@ -1,0 +1,41 @@
+"""Reusable columnar feature pipeline.
+
+The evaluation engines, the detector zoo and the zone-occupancy workload
+all consume the same shape of input: per-day ``(times, matrix,
+column_of_stream)`` blocks derived from a campaign's RSSI traces.  This
+package turns the derivation into a first-class seam:
+
+- :mod:`repro.features.base` defines the :class:`FeatureExtractor`
+  contract (a frozen config dataclass with a ``day_block`` method), a
+  registry mirroring the detector zoo's, and a content fingerprint so
+  caches and sweep stores can key on *what* was extracted rather than on
+  object identity.
+- :mod:`repro.features.store` provides :class:`FeatureStore`, the
+  per-recording cache of extractor blocks keyed by (day, extractor
+  fingerprint).  It validates day membership, so a ``DayRecording``
+  from a different campaign can never alias another recording's cache.
+- :mod:`repro.features.rolling` re-expresses the historical
+  ``CampaignStdFeatures`` rolling-std derivation as
+  :class:`RollingStdExtractor` — bit-identical to the original code
+  path, so every pinned golden stays green.
+"""
+
+from .base import (
+    FeatureBlock,
+    extractor_fingerprint,
+    extractor_names,
+    get_extractor,
+    register_extractor,
+)
+from .rolling import RollingStdExtractor
+from .store import FeatureStore
+
+__all__ = [
+    "FeatureBlock",
+    "FeatureStore",
+    "RollingStdExtractor",
+    "extractor_fingerprint",
+    "extractor_names",
+    "get_extractor",
+    "register_extractor",
+]

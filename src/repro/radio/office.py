@@ -124,6 +124,32 @@ class OfficeLayout:
     def sensor_positions(self) -> Dict[str, Point]:
         return {s.sensor_id: s.position for s in self.sensors}
 
+    def grid_zones(
+        self, nx: int, ny: int = 1
+    ) -> List[Tuple[str, float, float, float, float]]:
+        """Partition the office rectangle into an ``nx`` x ``ny`` zone grid.
+
+        Returns ``(name, x_min, y_min, x_max, y_max)`` tuples in row-major
+        order (left to right, bottom to top), named ``z1``, ``z2``, ...
+        This is pure floor-plan geometry; which radio links cross which
+        zone is derived on top by :class:`repro.zones.ZoneMap`.
+        """
+        if nx < 1 or ny < 1:
+            raise ValueError("zone grid needs at least one cell per axis")
+        cells: List[Tuple[str, float, float, float, float]] = []
+        for iy in range(ny):
+            for ix in range(nx):
+                cells.append(
+                    (
+                        f"z{iy * nx + ix + 1}",
+                        self.width * ix / nx,
+                        self.height * iy / ny,
+                        self.width * (ix + 1) / nx,
+                        self.height * (iy + 1) / ny,
+                    )
+                )
+        return cells
+
     def with_sensors(self, sensor_ids: Sequence[str]) -> "OfficeLayout":
         """A copy of the layout restricted to a subset of sensors.
 

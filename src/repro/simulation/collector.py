@@ -609,6 +609,27 @@ class CampaignCollector:
         rssi = channel.sample_block(xy, speeds, present)
         return self._finalize_day(day, plan, rssi, activity_ss)
 
+    def day_walks(
+        self,
+        day: DaySchedule,
+        *,
+        seed_base: Optional[np.random.SeedSequence] = None,
+    ) -> Dict[str, List[Tuple[int, Trajectory, PresenceState]]]:
+        """Re-derive the ground-truth walks of one day without radio.
+
+        Compiles the same deterministic day plan :meth:`collect_day` and
+        :meth:`collect_day_scalar` execute — same seed derivation, same
+        movement stream — but skips channel sampling entirely, returning
+        each person's ``(fire_idx, trajectory, ends_as)`` walk list.
+        This is the position ground truth
+        (:meth:`~repro.mobility.trajectory.Trajectory.positions_at`)
+        the zone-occupancy workload scores against, recoverable for any
+        recorded campaign from its schedule and seed alone.
+        """
+        _, movement_ss, _, _ = self._day_sequences(day.day_index, seed_base)
+        plan = self._prepare_day(day, np.random.default_rng(movement_ss))
+        return {uid: list(walks) for uid, walks in plan.walks.items()}
+
     def collect_day_scalar(
         self,
         day: DaySchedule,

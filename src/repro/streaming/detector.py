@@ -457,6 +457,12 @@ class DetectionBlock:
         initialising).
     durations:
         ``dW_t`` per instant — the quantity driving the controller.
+    zone_scores / zone_occupancy:
+        Per-instant zone-occupancy inference (``repro.zones``) when the
+        detector hosts a :class:`~repro.zones.estimator.ZoneEngine`;
+        ``None`` otherwise.  ``zone_scores`` is ``(m, n_zones)`` (NaN in
+        the calibration window), ``zone_occupancy`` int64 (``-1`` = no
+        zone declared occupied).
     """
 
     times: np.ndarray
@@ -464,6 +470,8 @@ class DetectionBlock:
     decisions: np.ndarray
     thresholds: np.ndarray
     durations: np.ndarray
+    zone_scores: Optional[np.ndarray] = None
+    zone_occupancy: Optional[np.ndarray] = None
 
     @property
     def n_samples(self) -> int:
@@ -499,6 +507,13 @@ class OnlineDetector:
         ``streaming_engine`` replaces the KDE :class:`OnlineProfile` as
         the decision engine behind the shared std-sum kernel and window
         tracker.  ``None`` keeps the paper's detector.
+    zones:
+        Optional :class:`~repro.zones.estimator.ZoneEngine` (from
+        :meth:`~repro.zones.estimator.ZoneOccupancyEstimator.
+        streaming_engine`): the detector feeds it every consumed batch
+        and attaches its per-instant zone scores/occupancy to each
+        :class:`DetectionBlock`.  The engine must have been built for the
+        same stream ids in the same order.
     """
 
     def __init__(
@@ -508,6 +523,7 @@ class OnlineDetector:
         sample_rate_hz: float = 4.0,
         *,
         detector: Optional[object] = None,
+        zones: Optional[object] = None,
     ) -> None:
         if sample_rate_hz <= 0:
             raise ValueError("sample_rate_hz must be positive")
@@ -528,6 +544,11 @@ class OnlineDetector:
             self._profile = OnlineProfile(self._config, init_samples)
         else:
             self._profile = detector.streaming_engine(self._config, init_samples)
+        if zones is not None and list(zones.stream_ids) != self._stream_ids:
+            raise ValueError(
+                "zone engine stream ids do not match the detector's"
+            )
+        self._zones = zones
         self._windows = WindowTracker(self._config.merge_gap_s)
         self._last_t: Optional[float] = None
 
@@ -549,6 +570,11 @@ class OnlineDetector:
     def detector(self) -> Optional[object]:
         """The zoo member driving decisions (``None`` = the KDE path)."""
         return self._detector
+
+    @property
+    def zones(self) -> Optional[object]:
+        """The hosted zone-occupancy engine (``None`` = detection only)."""
+        return self._zones
 
     @property
     def samples_seen(self) -> int:
@@ -603,6 +629,9 @@ class OnlineDetector:
             "engine": engine.snapshot(),
             "windows": self._windows.snapshot(),
             "last_t": self._last_t,
+            "zones": (
+                None if self._zones is None else self._zones.snapshot()
+            ),
         }
 
     @classmethod
@@ -619,11 +648,18 @@ class OnlineDetector:
             detector = type(get_detector(det_spec["name"]))(
                 **det_spec["config"]
             )
+        zones: Optional[object] = None
+        zones_state = state.get("zones")
+        if zones_state is not None:
+            from ..zones.estimator import ZoneEngine  # local: optional layer
+
+            zones = ZoneEngine.from_snapshot(zones_state)
         inst = cls(
             state["stream_ids"],
             MDConfig(**state["config"]),
             float(state["sample_rate_hz"]),
             detector=detector,
+            zones=zones,
         )
         engine = inst._profile
         if not callable(getattr(engine, "restore", None)):
@@ -658,12 +694,18 @@ class OnlineDetector:
         m = times.shape[0]
         if m == 0:
             empty = np.empty(0)
+            zone_scores = zone_occupancy = None
+            if self._zones is not None:
+                zone_scores = np.full((0, self._zones.zone_map.n_zones), np.nan)
+                zone_occupancy = np.empty(0, dtype=np.int64)
             return DetectionBlock(
                 times=times,
                 std_sums=empty,
                 decisions=np.empty(0, dtype=np.int8),
                 thresholds=empty.copy(),
                 durations=empty.copy(),
+                zone_scores=zone_scores,
+                zone_occupancy=zone_occupancy,
             )
         first = float(times[0])
         if (self._last_t is not None and first <= self._last_t) or (
@@ -688,12 +730,19 @@ class OnlineDetector:
         for i, (t, f) in enumerate(zip(times.tolist(), flags)):
             durations[i] = tracker.update(t, f)
         self._last_t = float(times[-1])
+        zone_scores = zone_occupancy = None
+        if self._zones is not None:
+            zone_grid = self._zones.extend(matrix)
+            zone_scores = zone_grid.scores
+            zone_occupancy = zone_grid.occupied
         return DetectionBlock(
             times=times,
             std_sums=std_sums,
             decisions=decisions,
             thresholds=thresholds,
             durations=durations,
+            zone_scores=zone_scores,
+            zone_occupancy=zone_occupancy,
         )
 
     def process(self, t: float, sample: Mapping[str, float]) -> Optional[bool]:

@@ -149,12 +149,22 @@ class TenantState:
                 thresholds=empty.copy(),
                 durations=empty.copy(),
             )
+        zone_scores = zone_occupancy = None
+        if all(b.zone_scores is not None for b in self.blocks):
+            zone_scores = np.concatenate(
+                [b.zone_scores for b in self.blocks]
+            )
+            zone_occupancy = np.concatenate(
+                [b.zone_occupancy for b in self.blocks]
+            )
         return DetectionBlock(
             times=np.concatenate([b.times for b in self.blocks]),
             std_sums=np.concatenate([b.std_sums for b in self.blocks]),
             decisions=np.concatenate([b.decisions for b in self.blocks]),
             thresholds=np.concatenate([b.thresholds for b in self.blocks]),
             durations=np.concatenate([b.durations for b in self.blocks]),
+            zone_scores=zone_scores,
+            zone_occupancy=zone_occupancy,
         )
 
 
@@ -283,6 +293,7 @@ class IngestRouter:
         config: Optional[MDConfig] = None,
         sample_rate_hz: Optional[float] = None,
         detector: Optional[object] = None,
+        zones: Optional[object] = None,
         restore_from: Optional[Dict[str, Any]] = None,
     ) -> TenantState:
         """Register an office, assigning it to the next shard round-robin.
@@ -290,13 +301,16 @@ class IngestRouter:
         ``detector`` overrides the router's default zoo member for this
         tenant, so one router can host heterogeneous per-tenant detectors
         (each tenant's engine is private state on its own shard).
+        ``zones`` hosts a per-tenant
+        :class:`~repro.zones.estimator.ZoneEngine` next to the detector —
+        engines are stateful, so every tenant needs its own instance.
 
         ``restore_from`` resumes the tenant mid-stream from an
         :meth:`OnlineDetector.snapshot` checkpoint (e.g. one taken by
         :meth:`checkpoint_tenants` in a previous router's life); the
         snapshot is self-describing, so ``config`` / ``sample_rate_hz`` /
-        ``detector`` must be left unset and ``stream_ids`` must match the
-        checkpointed ids.
+        ``detector`` / ``zones`` must be left unset and ``stream_ids``
+        must match the checkpointed ids.
         """
         self._check_failure()
         if self._closed:
@@ -306,6 +320,7 @@ class IngestRouter:
                 config is not None
                 or sample_rate_hz is not None
                 or detector is not None
+                or zones is not None
             ):
                 raise ValueError(
                     "restore_from carries config/rate/detector itself; do "
@@ -329,6 +344,7 @@ class IngestRouter:
                 detector=(
                     detector if detector is not None else self._detector
                 ),
+                zones=zones,
             )
         with self._lock:
             if tenant in self._tenants:

@@ -1,0 +1,32 @@
+"""Zone-occupancy inference — the paper's localisation "future work".
+
+Built on the reusable feature pipeline: the ``"attenuation"`` extractor
+turns raw per-link RSSI into expected-minus-observed attenuation, a
+:class:`ZoneMap` derived from the office layout knows which links cross
+which zone, and :class:`ZoneOccupancyEstimator` (with its bitwise-
+identical streaming twin :class:`ZoneEngine`) turns crossing-link
+attenuation into a per-instant occupied-zone estimate, scored against
+ground-truth walker trajectories.
+"""
+
+from .attenuation import AttenuationExtractor
+from .estimator import (
+    ZoneAccuracy,
+    ZoneEngine,
+    ZoneGrid,
+    ZoneOccupancyEstimator,
+    score_walks,
+)
+from .map import Zone, ZoneMap, stream_segments
+
+__all__ = [
+    "AttenuationExtractor",
+    "Zone",
+    "ZoneAccuracy",
+    "ZoneEngine",
+    "ZoneGrid",
+    "ZoneMap",
+    "ZoneOccupancyEstimator",
+    "score_walks",
+    "stream_segments",
+]

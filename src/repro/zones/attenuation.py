@@ -1,0 +1,87 @@
+"""Per-link attenuation features: expected baseline minus observed RSSI.
+
+The senseye exemplars estimate free-space RSSI from link geometry and
+read body shadowing as the gap between that baseline and the observation.
+This extractor does the same against the repository's log-distance model:
+for every directed stream the expected quiescent RSSI is
+``mean_rssi_dbm(link_length)`` under a configured
+:class:`~repro.radio.pathloss.LogDistancePathLoss`, and the feature is
+``expected - observed`` in dB — positive when a body (or noise) eats
+signal, near zero on an idle link.
+
+Registered as the ``"attenuation"`` feature extractor, so its per-day
+blocks share a :class:`~repro.features.store.FeatureStore` with the
+rolling-std features that feed detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Sequence
+
+import numpy as np
+
+from ..features.base import FeatureBlock, register_extractor
+from ..radio.office import OfficeLayout
+from ..radio.pathloss import LogDistancePathLoss
+from .map import stream_segments
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..simulation.collector import DayRecording
+
+__all__ = ["AttenuationExtractor"]
+
+
+@register_extractor
+@dataclass(frozen=True)
+class AttenuationExtractor:
+    """Observed RSSI shortfall against the log-distance baseline.
+
+    The path-loss parameters default to the simulator's channel defaults
+    (exponent 3.0, 40 dB at 1 m, 4 dBm transmit power), so on a clean
+    channel the extracted attenuation of an idle link is exactly the
+    injected noise.
+    """
+
+    name: ClassVar[str] = "attenuation"
+
+    tx_power_dbm: float = 4.0
+    exponent: float = 3.0
+    reference_distance: float = 1.0
+    reference_loss_db: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not self.reference_distance > 0:
+            raise ValueError("reference_distance must be positive")
+
+    def baseline(self, layout: OfficeLayout, stream_ids: Sequence[str]) -> np.ndarray:
+        """Expected quiescent RSSI (dBm) per stream, in the given order."""
+        pathloss = LogDistancePathLoss(
+            exponent=self.exponent,
+            reference_distance=self.reference_distance,
+            reference_loss_db=self.reference_loss_db,
+        )
+        segments = stream_segments(layout)
+        expected = np.empty(len(stream_ids))
+        for j, sid in enumerate(stream_ids):
+            if sid not in segments:
+                raise KeyError(f"stream {sid!r} has no link in this layout")
+            a, b = segments[sid]
+            expected[j] = pathloss.mean_rssi_dbm(
+                a.distance_to(b), tx_power_dbm=self.tx_power_dbm
+            )
+        return expected
+
+    def day_block(self, day: "DayRecording", layout: OfficeLayout) -> FeatureBlock:
+        """Attenuation block for one day, columns in trace stream order."""
+        trace = day.trace
+        stream_ids = trace.stream_ids
+        expected = self.baseline(layout, stream_ids)
+        matrix = np.empty((trace.n_samples, len(stream_ids)))
+        for j, sid in enumerate(stream_ids):
+            # Per-column scalar subtraction: the exact expression the
+            # streaming engine applies per batch, so offline and online
+            # attenuation agree bitwise.
+            matrix[:, j] = expected[j] - trace.streams[sid]
+        columns = {sid: j for j, sid in enumerate(stream_ids)}
+        return trace.times, matrix, columns

@@ -1,0 +1,518 @@
+"""Zone-occupancy estimation from per-link attenuation.
+
+Offline estimator and its bounded-state streaming twin, under the same
+equivalence contract as the detector zoo: the concatenated outputs of
+:class:`ZoneEngine` over *any* batch split of a day — partial smoothing
+head included — are bitwise identical to :meth:`ZoneOccupancyEstimator.
+offline_grid` over the full matrix.
+
+The inference pipeline (the paper's "future work" localisation sketched
+by the senseye exemplars, adapted to a room with *seated* occupants
+whose bodies shadow desk-adjacent links permanently):
+
+1. smooth each link's attenuation with a short rolling mean;
+2. calibrate each link's quiescent level as the median of its first
+   ``calibration_samples`` smoothed values, and rectify the excess
+   (``max(smoothed - calib, 0)``) so a departing occupant's *removed*
+   seat shadow cannot drag zone scores negative;
+3. average the rectified excess of the links crossing each zone,
+   weighting every link by ``1 / (number of zones it crosses)`` — a
+   wall-to-wall link that crosses the whole office says little about
+   *where* the body is, a short link crossing one zone says a lot;
+4. declare the argmax zone occupied when its score clears
+   ``threshold_db``.  Equal scores resolve to the lowest zone index —
+   the same tie-break :meth:`~repro.zones.map.ZoneMap.zone_of` applies
+   to boundary points.
+
+Like the detector engines, nothing is declared during the calibration
+window: scores are NaN and occupancy is ``-1`` for the first
+``calibration_samples`` instants on *both* paths (the offline grid is
+causal by construction, so the streaming twin can match it bitwise).
+
+Bitwise-equivalence notes (mirroring ``OnlineStdSum``): the engine keeps
+the last ``w - 1`` attenuation samples per link contiguous in arrival
+order and re-materialises ``concat(tail, batch)``, so every full rolling
+window reduces over the same contiguous memory as the offline
+``sliding_window_view`` row, and every partial head is a prefix-slice
+``np.mean`` over the same values.  The calibration median is an order
+statistic — value-deterministic, so the engine computes it from its own
+buffered copy of the first smoothed values.  Per-zone averaging
+accumulates link columns in the zone's declared stream order with
+identical scalar weights on both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..radio.geometry import Point
+from ..radio.office import OfficeLayout
+from .attenuation import AttenuationExtractor
+from .map import ZoneMap
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from ..features.store import FeatureStore
+    from ..simulation.collector import DayRecording
+
+__all__ = [
+    "ZoneGrid",
+    "ZoneAccuracy",
+    "ZoneOccupancyEstimator",
+    "ZoneEngine",
+    "score_walks",
+]
+
+
+@dataclass(frozen=True)
+class ZoneGrid:
+    """Per-instant zone scores and the occupancy decision.
+
+    ``scores`` is ``(n, n_zones)`` calibrated excess attenuation (dB)
+    per zone, NaN inside the calibration window where it is undefined;
+    ``occupied`` is int64 with the winning zone index, ``-1`` where no
+    zone clears the threshold (including the calibration window).
+    """
+
+    scores: np.ndarray
+    occupied: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.scores.shape[:1] != self.occupied.shape:
+            raise ValueError(
+                "scores and occupied must agree on the instant count, got "
+                f"{self.scores.shape} vs {self.occupied.shape}"
+            )
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.occupied.shape[0])
+
+
+@dataclass(frozen=True)
+class ZoneAccuracy:
+    """Zone-occupancy score against ground-truth walker positions.
+
+    Counts accumulate over the *scoreable* instants: timestamps covered
+    by exactly one active trajectory (multi-walker instants are ambiguous
+    for a single-occupant estimator and are excluded).
+    """
+
+    n_instants: int = 0
+    n_predicted: int = 0
+    n_correct: int = 0
+
+    def __add__(self, other: "ZoneAccuracy") -> "ZoneAccuracy":
+        return ZoneAccuracy(
+            n_instants=self.n_instants + other.n_instants,
+            n_predicted=self.n_predicted + other.n_predicted,
+            n_correct=self.n_correct + other.n_correct,
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of occupancy predictions naming the true zone."""
+        return self.n_correct / self.n_predicted if self.n_predicted else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of scoreable instants with an occupancy prediction."""
+        return self.n_predicted / self.n_instants if self.n_instants else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "n_instants": int(self.n_instants),
+            "n_predicted": int(self.n_predicted),
+            "n_correct": int(self.n_correct),
+            "accuracy": float(self.accuracy),
+            "coverage": float(self.coverage),
+        }
+
+
+def _smooth_column(col: np.ndarray, w: int) -> np.ndarray:
+    """Rolling mean with a prefix-mean head — the offline reference.
+
+    ``col`` must be contiguous; the first ``w - 1`` outputs average the
+    prefix seen so far (the partial-window head the streaming contract
+    covers), the rest are full ``w``-sample windows.
+    """
+    n = col.shape[0]
+    out = np.empty(n)
+    for i in range(min(w - 1, n)):
+        out[i] = np.mean(col[: i + 1])
+    if n >= w:
+        out[w - 1 :] = np.mean(sliding_window_view(col, w), axis=1)
+    return out
+
+
+def _score_matrix(
+    excess: Mapping[str, np.ndarray],
+    zone_streams: Sequence[Sequence[str]],
+    weights: Mapping[str, float],
+    n: int,
+) -> np.ndarray:
+    """``(n, n_zones)`` weighted-mean zone scores from per-link excess.
+
+    Shared verbatim by the offline grid and the streaming engine so the
+    accumulation order (zone stream order, left to right) and the scalar
+    weights are identical.
+    """
+    scores = np.zeros((n, len(zone_streams)))
+    for z, sids in enumerate(zone_streams):
+        if not sids:
+            continue
+        acc: Optional[np.ndarray] = None
+        denom = 0.0
+        for sid in sids:
+            term = excess[sid] * weights[sid]
+            acc = term if acc is None else acc + term
+            denom += weights[sid]
+        scores[:, z] = acc / denom
+    return scores
+
+
+def _decide(scores: np.ndarray, threshold_db: float) -> np.ndarray:
+    """Occupancy decisions for calibrated score rows (int64, -1 = none)."""
+    n = scores.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    best = np.argmax(scores, axis=1)
+    top = scores[np.arange(n), best]
+    return np.where(top > threshold_db, best, -1).astype(np.int64)
+
+
+def _crossing_counts(zone_map: ZoneMap) -> Dict[str, int]:
+    """How many zones of the map each declared stream crosses."""
+    counts: Dict[str, int] = {}
+    for zone in zone_map.zones:
+        for sid in zone.stream_ids:
+            counts[sid] = counts.get(sid, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class ZoneOccupancyEstimator:
+    """Which zone is occupied, inferred from crossing-link attenuation.
+
+    Parameters
+    ----------
+    zone_map:
+        The zones and their crossing links
+        (:meth:`~repro.zones.map.ZoneMap.from_layout`).
+    attenuation:
+        Baseline model turning raw RSSI into per-link attenuation.
+    smoothing_samples:
+        Rolling-mean window (samples) applied per link before zoning.
+    calibration_samples:
+        Leading smoothed samples whose per-link median defines the
+        quiescent level; no occupancy is declared inside this window.
+    threshold_db:
+        Minimum weighted zone excess to declare occupancy.
+    """
+
+    zone_map: ZoneMap
+    attenuation: AttenuationExtractor = field(
+        default_factory=AttenuationExtractor
+    )
+    smoothing_samples: int = 4
+    calibration_samples: int = 120
+    threshold_db: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.smoothing_samples < 1:
+            raise ValueError("smoothing_samples must be at least 1")
+        if self.calibration_samples < 1:
+            raise ValueError("calibration_samples must be at least 1")
+
+    def _zone_streams(self, available: Sequence[str]) -> List[List[str]]:
+        """Per-zone crossing streams restricted to the available ones."""
+        present = set(available)
+        return [
+            [sid for sid in zone.stream_ids if sid in present]
+            for zone in self.zone_map.zones
+        ]
+
+    def _weights(self) -> Dict[str, float]:
+        """Per-link exclusivity weight: ``1 / zones crossed`` (static)."""
+        return {
+            sid: 1.0 / c for sid, c in _crossing_counts(self.zone_map).items()
+        }
+
+    def offline_grid(
+        self, matrix: np.ndarray, columns: Mapping[str, int]
+    ) -> ZoneGrid:
+        """Zone occupancy over a full ``(n, n_streams)`` attenuation matrix."""
+        w = self.smoothing_samples
+        k = self.calibration_samples
+        n = matrix.shape[0]
+        n_zones = self.zone_map.n_zones
+        zone_streams = self._zone_streams(list(columns))
+        scores = np.full((n, n_zones), np.nan)
+        occupied = np.full(n, -1, dtype=np.int64)
+        if n <= k:
+            return ZoneGrid(scores=scores, occupied=occupied)
+        weights = self._weights()
+        excess: Dict[str, np.ndarray] = {}
+        for sids in zone_streams:
+            for sid in sids:
+                if sid not in excess:
+                    col = np.ascontiguousarray(matrix[:, columns[sid]])
+                    smoothed = _smooth_column(col, w)
+                    calib = float(np.median(smoothed[:k]))
+                    excess[sid] = np.maximum(smoothed[k:] - calib, 0.0)
+        scores[k:] = _score_matrix(excess, zone_streams, weights, n - k)
+        occupied[k:] = _decide(scores[k:], self.threshold_db)
+        return ZoneGrid(scores=scores, occupied=occupied)
+
+    def day_grid(
+        self,
+        day: "DayRecording",
+        layout: OfficeLayout,
+        store: Optional["FeatureStore"] = None,
+    ) -> Tuple[np.ndarray, ZoneGrid]:
+        """``(times, grid)`` for one recorded day via the feature store."""
+        if store is not None:
+            times, matrix, columns = store.day_block(self.attenuation, day)
+        else:
+            times, matrix, columns = self.attenuation.day_block(day, layout)
+        return times, self.offline_grid(matrix, columns)
+
+    def streaming_engine(
+        self, stream_ids: Sequence[str], layout: OfficeLayout
+    ) -> "ZoneEngine":
+        """A fresh bounded-state twin for the given stream order."""
+        zone_streams = self._zone_streams(stream_ids)
+        needed: List[str] = []
+        for sids in zone_streams:
+            for sid in sids:
+                if sid not in needed:
+                    needed.append(sid)
+        expected = self.attenuation.baseline(layout, needed)
+        baselines = {sid: float(expected[j]) for j, sid in enumerate(needed)}
+        return ZoneEngine(
+            zone_map=self.zone_map,
+            stream_ids=stream_ids,
+            baselines=baselines,
+            smoothing_samples=self.smoothing_samples,
+            calibration_samples=self.calibration_samples,
+            threshold_db=self.threshold_db,
+        )
+
+
+class ZoneEngine:
+    """Streaming zone-occupancy engine, bitwise-identical to offline.
+
+    Bounded state: the last ``smoothing_samples - 1`` attenuation values
+    per needed link (arrival order), up to ``calibration_samples``
+    smoothed values per link while calibrating, the per-link calibration
+    medians once frozen, and a sample counter.  Hosted per-tenant by
+    :class:`~repro.streaming.detector.OnlineDetector`.
+    """
+
+    def __init__(
+        self,
+        zone_map: ZoneMap,
+        stream_ids: Sequence[str],
+        baselines: Mapping[str, float],
+        smoothing_samples: int,
+        calibration_samples: int,
+        threshold_db: float,
+    ) -> None:
+        if smoothing_samples < 1:
+            raise ValueError("smoothing_samples must be at least 1")
+        if calibration_samples < 1:
+            raise ValueError("calibration_samples must be at least 1")
+        self.zone_map = zone_map
+        self.stream_ids = list(stream_ids)
+        self.smoothing_samples = int(smoothing_samples)
+        self.calibration_samples = int(calibration_samples)
+        self.threshold_db = float(threshold_db)
+        present = set(self.stream_ids)
+        self._zone_streams = [
+            [sid for sid in zone.stream_ids if sid in present]
+            for zone in zone_map.zones
+        ]
+        self._weights = {
+            sid: 1.0 / c for sid, c in _crossing_counts(zone_map).items()
+        }
+        self._needed: List[str] = []
+        for sids in self._zone_streams:
+            for sid in sids:
+                if sid not in self._needed:
+                    self._needed.append(sid)
+        missing = [sid for sid in self._needed if sid not in baselines]
+        if missing:
+            raise ValueError(f"missing baselines for streams {missing!r}")
+        self._baselines = {sid: float(baselines[sid]) for sid in self._needed}
+        col_of = {sid: j for j, sid in enumerate(self.stream_ids)}
+        self._col_of = {sid: col_of[sid] for sid in self._needed}
+        self._count = 0
+        self._tails: Dict[str, np.ndarray] = {
+            sid: np.empty(0) for sid in self._needed
+        }
+        self._calib_buf: Dict[str, np.ndarray] = {
+            sid: np.empty(0) for sid in self._needed
+        }
+        self._calib: Optional[Dict[str, float]] = None
+
+    def extend(self, matrix: np.ndarray) -> ZoneGrid:
+        """Consume an ``(m, n_streams)`` RSSI batch, return its grid."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.stream_ids):
+            raise ValueError(
+                f"expected a (m, {len(self.stream_ids)}) matrix, "
+                f"got shape {matrix.shape}"
+            )
+        m = matrix.shape[0]
+        w = self.smoothing_samples
+        k = self.calibration_samples
+        c0 = self._count
+        n_zones = self.zone_map.n_zones
+        if m == 0:
+            return ZoneGrid(
+                scores=np.full((0, n_zones), np.nan),
+                occupied=np.empty(0, dtype=np.int64),
+            )
+        smoothed: Dict[str, np.ndarray] = {}
+        for sid in self._needed:
+            col = self._baselines[sid] - np.ascontiguousarray(
+                matrix[:, self._col_of[sid]]
+            )
+            tail = self._tails[sid]
+            ext = np.concatenate((tail, col)) if tail.size else col
+            lt = ext.shape[0] - m
+            out = np.empty(m)
+            # Partial-window head: while fewer than w samples have ever
+            # arrived the tail holds the entire history, so each prefix
+            # slice is the same contiguous array the offline head averages.
+            for i in range(min(m, max(0, (w - 1) - c0))):
+                out[i] = np.mean(ext[: lt + i + 1])
+            i0 = max(0, (w - 1) - c0)
+            if i0 < m:
+                out[i0:] = np.mean(sliding_window_view(ext, w), axis=1)
+            smoothed[sid] = out
+            nt = min(c0 + m, w - 1)
+            self._tails[sid] = np.ascontiguousarray(ext[ext.shape[0] - nt :])
+        if self._calib is None:
+            take = min(m, k - c0)
+            if take > 0:
+                for sid in self._needed:
+                    self._calib_buf[sid] = np.concatenate(
+                        (self._calib_buf[sid], smoothed[sid][:take])
+                    )
+            if c0 + m >= k:
+                # The calibration median is an order statistic of each
+                # link's first k smoothed values — value-deterministic,
+                # so computing it from this buffered copy matches the
+                # offline ``np.median(smoothed[:k])`` bitwise.
+                self._calib = {
+                    sid: float(np.median(self._calib_buf[sid]))
+                    for sid in self._needed
+                }
+                self._calib_buf = {
+                    sid: np.empty(0) for sid in self._needed
+                }
+        scores = np.full((m, n_zones), np.nan)
+        occupied = np.full(m, -1, dtype=np.int64)
+        j0 = max(0, k - c0)
+        if self._calib is not None and j0 < m:
+            excess = {
+                sid: np.maximum(smoothed[sid][j0:] - self._calib[sid], 0.0)
+                for sid in self._needed
+            }
+            scores[j0:] = _score_matrix(
+                excess, self._zone_streams, self._weights, m - j0
+            )
+            occupied[j0:] = _decide(scores[j0:], self.threshold_db)
+        self._count = c0 + m
+        return ZoneGrid(scores=scores, occupied=occupied)
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-JSON state: config, baselines, tails and calibration."""
+        return {
+            "count": int(self._count),
+            "stream_ids": list(self.stream_ids),
+            "smoothing_samples": int(self.smoothing_samples),
+            "calibration_samples": int(self.calibration_samples),
+            "threshold_db": float(self.threshold_db),
+            "zones": self.zone_map.to_jsonable(),
+            "baselines": dict(self._baselines),
+            "tails": {sid: tail.tolist() for sid, tail in self._tails.items()},
+            "calib_buf": {
+                sid: buf.tolist() for sid, buf in self._calib_buf.items()
+            },
+            "calib": dict(self._calib) if self._calib is not None else None,
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: Mapping[str, object]) -> "ZoneEngine":
+        engine = cls(
+            zone_map=ZoneMap.from_jsonable(state["zones"]),
+            stream_ids=list(state["stream_ids"]),
+            baselines=dict(state["baselines"]),
+            smoothing_samples=int(state["smoothing_samples"]),
+            calibration_samples=int(state["calibration_samples"]),
+            threshold_db=float(state["threshold_db"]),
+        )
+        tails = state["tails"]
+        if set(tails) != set(engine._needed):
+            raise ValueError("snapshot tails do not match the needed streams")
+        engine._count = int(state["count"])
+        for sid in engine._needed:
+            engine._tails[sid] = np.asarray(tails[sid], dtype=float)
+        for sid, buf in state["calib_buf"].items():
+            engine._calib_buf[sid] = np.asarray(buf, dtype=float)
+        calib = state.get("calib")
+        engine._calib = (
+            None if calib is None else {s: float(v) for s, v in calib.items()}
+        )
+        return engine
+
+
+def score_walks(
+    zone_map: ZoneMap,
+    times: np.ndarray,
+    occupied: np.ndarray,
+    trajectories: Sequence[object],
+) -> ZoneAccuracy:
+    """Score zone occupancy against ground-truth walker trajectories.
+
+    ``trajectories`` are :class:`~repro.mobility.trajectory.Trajectory`
+    objects (any walker, any day); instants covered by exactly one active
+    trajectory are scored against
+    :meth:`~repro.mobility.trajectory.Trajectory.positions_at`.
+    """
+    times = np.asarray(times, dtype=float)
+    occupied = np.asarray(occupied)
+    n = times.shape[0]
+    if occupied.shape[0] != n:
+        raise ValueError("times and occupied must have equal length")
+    active = np.zeros(n, dtype=np.int64)
+    masks = []
+    for traj in trajectories:
+        mask = (times >= traj.start_time) & (times <= traj.end_time)
+        masks.append(mask)
+        active += mask
+    total = ZoneAccuracy()
+    for traj, mask in zip(trajectories, masks):
+        idx = np.flatnonzero(mask & (active == 1))
+        if idx.size == 0:
+            continue
+        pos = traj.positions_at(times[idx])
+        truth = np.fromiter(
+            (zone_map.zone_of(Point(float(x), float(y))) for x, y in pos),
+            dtype=np.int64,
+            count=idx.size,
+        )
+        pred = occupied[idx]
+        has_pred = pred >= 0
+        total = total + ZoneAccuracy(
+            n_instants=int(idx.size),
+            n_predicted=int(has_pred.sum()),
+            n_correct=int((has_pred & (pred == truth)).sum()),
+        )
+    return total
